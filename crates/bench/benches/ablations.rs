@@ -1,0 +1,23 @@
+//! Criterion bench: the DESIGN.md ablation sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odr_bench::{ablation, Settings};
+
+fn bench(c: &mut Criterion) {
+    let settings = Settings::quick();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("blocking", |b| {
+        b.iter(|| std::hint::black_box(ablation::ablation_blocking(&settings)));
+    });
+    group.bench_function("accelerate", |b| {
+        b.iter(|| std::hint::black_box(ablation::ablation_accelerate(&settings)));
+    });
+    group.bench_function("depth", |b| {
+        b.iter(|| std::hint::black_box(ablation::ablation_depth(&settings)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

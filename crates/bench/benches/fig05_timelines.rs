@@ -1,0 +1,17 @@
+//! Criterion bench: regenerates the paper's fig05 series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odr_bench::{micro, Settings};
+
+fn bench(c: &mut Criterion) {
+    let settings = Settings::quick();
+    let mut group = c.benchmark_group("fig05_timelines");
+    group.sample_size(10);
+    group.bench_function("regenerate", |b| {
+        b.iter(|| std::hint::black_box(micro::fig05_timelines(&settings)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench: Figure 11 per-benchmark MtP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odr_bench::{suite_experiments as suite, Settings};
+
+fn bench(c: &mut Criterion) {
+    let settings = Settings::quick();
+    let results = suite::run_reduced_suite(&settings);
+    let mut group = c.benchmark_group("fig11_mtp_detail");
+    group.sample_size(10);
+    group.bench_function("render", |b| {
+        b.iter(|| std::hint::black_box(suite::fig11_mtp_detail(&results)));
+    });
+    group.bench_function("simulate_reduced_grid", |b| {
+        b.iter(|| std::hint::black_box(suite::run_reduced_suite(&settings).runs.len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench: user-study fig14_ratings series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odr_bench::{study, Settings};
+
+fn bench(c: &mut Criterion) {
+    let settings = Settings::quick();
+    let results = study::run_study(&settings);
+    let mut group = c.benchmark_group("fig14_ratings");
+    group.sample_size(10);
+    group.bench_function("render", |b| {
+        b.iter(|| std::hint::black_box(study::fig14_ratings(&results)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

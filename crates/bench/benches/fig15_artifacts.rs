@@ -1,0 +1,18 @@
+//! Criterion bench: user-study fig15_artifacts series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odr_bench::{study, Settings};
+
+fn bench(c: &mut Criterion) {
+    let settings = Settings::quick();
+    let results = study::run_study(&settings);
+    let mut group = c.benchmark_group("fig15_artifacts");
+    group.sample_size(10);
+    group.bench_function("render", |b| {
+        b.iter(|| std::hint::black_box(study::fig15_artifacts(&results)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks of the substrate crates: the hot paths under
+//! the simulator and the real-time runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use odr_core::{queue::FullPolicy, FpsRegulator, FrameQueue};
+use odr_netsim::{Link, LinkParams};
+use odr_raster::{Framebuffer, Rasterizer, Scene};
+use odr_simtime::{Duration, EventQueue, Rng, SimTime};
+
+fn bench_regulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core/regulator");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("on_frame_processed", |b| {
+        let mut reg = FpsRegulator::new(60.0);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let work = Duration::from_micros(8000 + (i % 7) * 2500);
+            std::hint::black_box(reg.on_frame_processed(work))
+        });
+    });
+    group.finish();
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core/frame_queue");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("publish_pop", |b| {
+        let mut q: FrameQueue<u64> = FrameQueue::new(1, FullPolicy::Overwrite);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            q.publish(i);
+            std::hint::black_box(q.pop())
+        });
+    });
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simtime/event_queue");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("push_pop_1k_pending", |b| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut rng = Rng::new(3);
+        for i in 0..1000u64 {
+            q.push(SimTime::from_nanos(rng.next_u64() % 1_000_000), i);
+        }
+        b.iter(|| {
+            let (t, e) = q.pop().expect("non-empty");
+            q.push(t + Duration::from_micros(rng.next_u64() % 1000), e);
+            std::hint::black_box(t)
+        });
+    });
+    group.finish();
+}
+
+fn bench_link(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim/link");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("send", |b| {
+        let mut link = Link::new(LinkParams::public_cloud(), Rng::new(5));
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += Duration::from_micros(500);
+            std::hint::black_box(link.send(t, 84_000))
+        });
+    });
+    group.finish();
+}
+
+fn bench_raster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raster/scene");
+    group.sample_size(20);
+    group.bench_function("render_320x180", |b| {
+        let scene = Scene::new(10, 0);
+        let mut raster = Rasterizer::new();
+        let mut fb = Framebuffer::new(320, 180);
+        let mut t = 0.0f32;
+        b.iter(|| {
+            t += 0.016;
+            std::hint::black_box(scene.render(&mut raster, &mut fb, t))
+        });
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(20);
+    let (w, h) = (320u32, 180u32);
+    let scene = Scene::new(10, 0);
+    let mut raster = Rasterizer::new();
+    let mut fb = Framebuffer::new(w, h);
+    scene.render(&mut raster, &mut fb, 0.0);
+    let frame_a = fb.bytes();
+    scene.render(&mut raster, &mut fb, 0.016);
+    let frame_b = fb.bytes();
+
+    group.throughput(Throughput::Bytes(frame_a.len() as u64));
+    group.bench_function("encode_pframe", |b| {
+        let mut enc = odr_codec::Encoder::new(w, h, 2);
+        let _ = enc.encode(&frame_a);
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let f = if flip { &frame_b } else { &frame_a };
+            std::hint::black_box(enc.encode(f).data.len())
+        });
+    });
+    group.bench_function("decode_pframe", |b| {
+        let mut enc = odr_codec::Encoder::new(w, h, 2);
+        let i = enc.encode(&frame_a);
+        let p = enc.encode(&frame_b);
+        b.iter(|| {
+            let mut dec = odr_codec::Decoder::new(w, h);
+            dec.decode(&i.data).expect("intra");
+            std::hint::black_box(dec.decode(&p.data).expect("p").len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_regulator,
+    bench_queue,
+    bench_event_queue,
+    bench_link,
+    bench_raster,
+    bench_codec
+);
+criterion_main!(benches);

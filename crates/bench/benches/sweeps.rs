@@ -1,0 +1,20 @@
+//! Criterion bench: the bandwidth-crossover and target-feasibility sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odr_bench::{sweeps, Settings};
+
+fn bench(c: &mut Criterion) {
+    let settings = Settings::quick();
+    let mut group = c.benchmark_group("sweeps");
+    group.sample_size(10);
+    group.bench_function("target_feasibility", |b| {
+        b.iter(|| std::hint::black_box(sweeps::sweep_target(&settings)));
+    });
+    group.bench_function("bandwidth_crossover", |b| {
+        b.iter(|| std::hint::black_box(sweeps::sweep_bandwidth(&settings)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

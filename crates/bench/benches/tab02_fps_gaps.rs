@@ -1,0 +1,21 @@
+//! Criterion bench: Table 2 FPS gaps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odr_bench::{suite_experiments as suite, Settings};
+
+fn bench(c: &mut Criterion) {
+    let settings = Settings::quick();
+    let results = suite::run_reduced_suite(&settings);
+    let mut group = c.benchmark_group("tab02_fps_gaps");
+    group.sample_size(10);
+    group.bench_function("render", |b| {
+        b.iter(|| std::hint::black_box(suite::tab02_fps_gaps(&results)));
+    });
+    group.bench_function("simulate_reduced_grid", |b| {
+        b.iter(|| std::hint::black_box(suite::run_reduced_suite(&settings).runs.len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,283 @@
+//! `odrsim` — run one cloud-3D simulation from the command line.
+//!
+//! ```text
+//! odrsim --benchmark IM --resolution 720p --platform gce \
+//!        --regulation odr --target 60 --duration 60 --seed 1
+//! ```
+//!
+//! Options (all optional; defaults in brackets):
+//!
+//! * `--benchmark STK|0AD|RE|D2|IM|ITP` \[IM\]
+//! * `--resolution 720p|1080p` \[720p\]
+//! * `--platform priv|gce|local` \[priv\]
+//! * `--regulation noreg|int|rvs|odr` \[odr\]
+//! * `--target <fps>|max` \[max\]
+//! * `--duration <secs>` \[60\]
+//! * `--seed <u64>` \[1\]
+//! * `--display immediate|vsync:<hz>|freesync:<hz>` \[immediate\]
+//! * `--no-priority` — disable PriorityFrame (ODR only)
+//! * `--trace` — append the per-frame trace as CSV after the report
+
+use odr_core::{FpsGoal, OdrOptions, RegulationSpec};
+use odr_pipeline::{run_experiment, ClientDisplay, ExperimentConfig};
+use odr_simtime::Duration;
+use odr_workload::{Benchmark, Platform, Resolution, Scenario};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse(&args) {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run with --help for usage");
+            std::process::exit(2);
+        }
+    };
+    if config.help {
+        println!("{}", USAGE);
+        return;
+    }
+
+    let experiment = if config.trace {
+        config.experiment.with_trace()
+    } else {
+        config.experiment
+    };
+    let report = run_experiment(&experiment);
+    println!("{}", report.one_line());
+    println!();
+    println!("render FPS          {:>10.1}", report.render_fps);
+    println!("encode FPS          {:>10.1}", report.encode_fps);
+    println!("client FPS          {:>10.1}", report.client_fps);
+    let b = report.client_fps_stats;
+    println!("client FPS p1/p99   {:>6.1} / {:.1}", b.p1, b.p99);
+    println!(
+        "FPS gap avg/max     {:>6.1} / {:.1}",
+        report.fps_gap_avg, report.fps_gap_max
+    );
+    let m = report.mtp_stats;
+    println!("MtP mean/p99 (ms)   {:>6.1} / {:.1}", m.mean, m.p99);
+    println!(
+        "target windows met  {:>9.1}%",
+        report.target_satisfaction * 100.0
+    );
+    println!("pacing CV           {:>10.3}", report.pacing_cv);
+    println!("stutter rate        {:>10.3}", report.stutter_rate);
+    println!("DRAM miss rate      {:>9.1}%", report.memory.miss_rate_pct);
+    println!("DRAM read time      {:>7.1} ns", report.memory.read_time_ns);
+    println!("IPC                 {:>10.2}", report.memory.ipc);
+    println!("wall power          {:>8.1} W", report.memory.power_w);
+    println!("net goodput         {:>5.1} Mb/s", report.net_goodput_mbps);
+    println!("net queue delay     {:>7.1} ms", report.net_queue_delay_ms);
+    println!(
+        "frames rendered/shown/dropped  {} / {} / {}",
+        report.frames_rendered, report.frames_displayed, report.frames_dropped
+    );
+    println!("priority frames     {:>10}", report.priority_frames);
+    if config.trace {
+        println!();
+        print!("{}", odr_pipeline::export::traces_to_csv(&report.traces));
+    }
+}
+
+const USAGE: &str = "odrsim — simulate one cloud-3D configuration
+  --benchmark STK|0AD|RE|D2|IM|ITP     [IM]
+  --resolution 720p|1080p              [720p]
+  --platform priv|gce|local            [priv]
+  --regulation noreg|int|rvs|odr       [odr]
+  --target <fps>|max                   [max]
+  --duration <secs>                    [60]
+  --seed <u64>                         [1]
+  --display immediate|vsync:<hz>|freesync:<hz>  [immediate]
+  --no-priority                        disable PriorityFrame (ODR)
+  --trace                              append per-frame trace CSV";
+
+struct Parsed {
+    help: bool,
+    trace: bool,
+    experiment: ExperimentConfig,
+}
+
+fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut benchmark = Benchmark::InMind;
+    let mut resolution = Resolution::R720p;
+    let mut platform = Platform::PrivateCloud;
+    let mut regulation = "odr".to_owned();
+    let mut goal = FpsGoal::Max;
+    let mut duration = 60u64;
+    let mut seed = 1u64;
+    let mut display = ClientDisplay::Immediate;
+    let mut priority = true;
+    let mut help = false;
+    let mut trace = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => help = true,
+            "--benchmark" => {
+                let v = value("--benchmark")?;
+                benchmark = Benchmark::ALL
+                    .into_iter()
+                    .find(|b| b.short().eq_ignore_ascii_case(v))
+                    .ok_or_else(|| format!("unknown benchmark {v}"))?;
+            }
+            "--resolution" => {
+                resolution = match value("--resolution")?.as_str() {
+                    "720p" => Resolution::R720p,
+                    "1080p" => Resolution::R1080p,
+                    v => return Err(format!("unknown resolution {v}")),
+                };
+            }
+            "--platform" => {
+                platform = match value("--platform")?.as_str() {
+                    "priv" => Platform::PrivateCloud,
+                    "gce" => Platform::Gce,
+                    "local" => Platform::NonCloud,
+                    v => return Err(format!("unknown platform {v}")),
+                };
+            }
+            "--regulation" => regulation = value("--regulation")?.to_lowercase(),
+            "--target" => {
+                let v = value("--target")?;
+                goal = if v.eq_ignore_ascii_case("max") {
+                    FpsGoal::Max
+                } else {
+                    let fps: f64 = v.parse().map_err(|_| format!("bad target {v}"))?;
+                    if fps <= 0.0 {
+                        return Err("target must be positive".to_owned());
+                    }
+                    FpsGoal::Target(fps)
+                };
+            }
+            "--duration" => {
+                duration = value("--duration")?
+                    .parse()
+                    .map_err(|_| "bad duration".to_owned())?;
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "bad seed".to_owned())?;
+            }
+            "--display" => {
+                let v = value("--display")?;
+                display = parse_display(v)?;
+            }
+            "--no-priority" => priority = false,
+            "--trace" => trace = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+
+    let spec = match regulation.as_str() {
+        "noreg" => RegulationSpec::NoReg,
+        "int" => RegulationSpec::Interval(goal),
+        "rvs" => RegulationSpec::rvs(goal),
+        "odr" => RegulationSpec::Odr {
+            goal,
+            options: OdrOptions {
+                priority_frames: priority,
+                ..OdrOptions::default()
+            },
+        },
+        v => return Err(format!("unknown regulation {v}")),
+    };
+
+    let experiment = ExperimentConfig::new(Scenario::new(benchmark, resolution, platform), spec)
+        .with_duration(Duration::from_secs(duration))
+        .with_seed(seed)
+        .with_display(display);
+    Ok(Parsed {
+        help,
+        trace,
+        experiment,
+    })
+}
+
+fn parse_display(v: &str) -> Result<ClientDisplay, String> {
+    if v == "immediate" {
+        return Ok(ClientDisplay::Immediate);
+    }
+    let (kind, hz) = v
+        .split_once(':')
+        .ok_or_else(|| format!("bad display spec {v}"))?;
+    let hz: f64 = hz.parse().map_err(|_| format!("bad refresh rate in {v}"))?;
+    if hz <= 0.0 {
+        return Err("refresh rate must be positive".to_owned());
+    }
+    match kind {
+        "vsync" => Ok(ClientDisplay::VSync { refresh_hz: hz }),
+        "freesync" => Ok(ClientDisplay::FreeSync { max_hz: hz }),
+        _ => Err(format!("unknown display kind {kind}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let p = parse(&[]).expect("defaults");
+        assert!(!p.help);
+        assert_eq!(p.experiment.scenario.benchmark, Benchmark::InMind);
+        assert_eq!(p.experiment.spec.label(), "ODRMax");
+    }
+
+    #[test]
+    fn full_command_line() {
+        let p = parse(&argv(
+            "--benchmark RE --resolution 1080p --platform gce --regulation odr \
+             --target 30 --duration 10 --seed 9 --display vsync:60",
+        ))
+        .expect("parse");
+        assert_eq!(p.experiment.scenario.benchmark, Benchmark::RedEclipse);
+        assert_eq!(p.experiment.scenario.resolution, Resolution::R1080p);
+        assert_eq!(p.experiment.scenario.platform, Platform::Gce);
+        assert_eq!(p.experiment.spec.label(), "ODR30");
+        assert_eq!(p.experiment.duration, Duration::from_secs(10));
+        assert_eq!(p.experiment.seed, 9);
+        assert_eq!(
+            p.experiment.display,
+            ClientDisplay::VSync { refresh_hz: 60.0 }
+        );
+    }
+
+    #[test]
+    fn no_priority_flag() {
+        let p = parse(&argv("--regulation odr --target max --no-priority")).expect("parse");
+        assert_eq!(p.experiment.spec.label(), "ODRMax-noPri");
+    }
+
+    #[test]
+    fn trace_flag_parses() {
+        let p = parse(&argv("--trace")).expect("parse");
+        assert!(p.trace);
+        assert!(!parse(&[]).expect("defaults").trace);
+    }
+
+    #[test]
+    fn bad_values_error() {
+        assert!(parse(&argv("--benchmark nope")).is_err());
+        assert!(parse(&argv("--target -5")).is_err());
+        assert!(parse(&argv("--display vsync")).is_err());
+        assert!(parse(&argv("--bogus")).is_err());
+        assert!(parse(&argv("--duration")).is_err());
+    }
+
+    #[test]
+    fn freesync_display_parses() {
+        assert_eq!(
+            parse_display("freesync:144").expect("parse"),
+            ClientDisplay::FreeSync { max_hz: 144.0 }
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Regenerates every table and figure of the ODR paper's evaluation.
+//!
+//! ```text
+//! repro                 # everything, full 120 s runs
+//! repro --quick         # everything, 8 s runs (smoke test)
+//! repro fig1 fig9 tab2  # selected experiments
+//! ```
+//!
+//! Experiment ids: fig1 fig3 fig4 fig5 fig6 fig7 tab2 fig9 fig10 fig11
+//! fig12 fig13 fig14 fig15 ablations sweeps capacity.
+
+use odr_bench::{ablation, micro, study, suite_experiments as suite, sweeps, Settings};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let want = |id: &str| selected.is_empty() || selected.contains(&id);
+
+    let settings = if quick {
+        Settings::quick()
+    } else {
+        Settings::default()
+    };
+    println!(
+        "# ODR paper reproduction — {} s simulated per configuration, seed {:#x}\n",
+        settings.duration.as_secs(),
+        settings.seed
+    );
+
+    // Single-scenario analyses (Section 4).
+    if want("fig1") {
+        println!("{}", micro::fig01_fps_gap(&settings));
+    }
+    if want("fig3") {
+        println!("{}", micro::fig03_regulation_fps(&settings));
+    }
+    if want("fig4") {
+        println!("{}", micro::fig04_time_variation(&settings));
+    }
+    if want("fig5") {
+        println!("{}", micro::fig05_timelines(&settings));
+    }
+    if want("fig6") {
+        println!("{}", micro::fig06_mtp(&settings));
+    }
+    if want("fig7") {
+        println!("{}", micro::fig07_dram(&settings));
+    }
+
+    // Full-grid evaluation (Section 6) — one sweep feeds all of these.
+    let needs_suite = ["tab2", "fig9", "fig10", "fig11", "fig12", "fig13"]
+        .iter()
+        .any(|id| want(id));
+    if needs_suite {
+        eprintln!("running the full evaluation grid (192 simulations)...");
+        let results = suite::run_full_suite(&settings);
+        if want("tab2") {
+            println!("{}", suite::tab02_fps_gaps(&results));
+        }
+        if want("fig9") {
+            println!("{}", suite::fig09a_client_fps(&results));
+            println!("{}", suite::fig09b_mtp(&results));
+        }
+        if want("fig10") {
+            println!("{}", suite::fig10_fps_detail(&results));
+        }
+        if want("fig11") {
+            println!("{}", suite::fig11_mtp_detail(&results));
+        }
+        if want("fig12") {
+            println!("{}", suite::fig12_memory(&results));
+        }
+        if want("fig13") {
+            println!("{}", suite::fig13_power(&results));
+        }
+        println!("{}", suite::bandwidth_note(&results));
+    }
+
+    // User study (Section 6.7).
+    if want("fig14") || want("fig15") {
+        let results = study::run_study(&settings);
+        if want("fig14") {
+            println!("{}", study::fig14_ratings(&results));
+        }
+        if want("fig15") {
+            println!("{}", study::fig15_artifacts(&results));
+        }
+    }
+
+    // Design ablations (DESIGN.md §5).
+    if want("ablations") {
+        println!("{}", ablation::all_ablations(&settings));
+    }
+
+    // Server-consolidation capacity (analytic; instant).
+    if want("capacity") {
+        println!("{}", suite::capacity_table());
+    }
+
+    // Parameter sweeps (crossover charts).
+    if want("sweeps") {
+        println!("{}", sweeps::sweep_bandwidth(&settings));
+        println!("{}", sweeps::sweep_target(&settings));
+        println!("{}", sweeps::sweep_loss(&settings));
+    }
+}

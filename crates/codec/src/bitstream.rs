@@ -1,0 +1,148 @@
+//! Byte-oriented bitstream primitives: varints and run-length coding.
+
+/// Appends `value` as a LEB128 varint.
+pub fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint from `data` starting at `*pos`, advancing `*pos`.
+///
+/// Returns `None` on truncated or oversized (> 10 byte) input.
+#[must_use]
+pub fn read_varint(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Run-length encodes `bytes` as `(varint run_length, value)` pairs.
+pub fn rle_encode(out: &mut Vec<u8>, bytes: &[u8]) {
+    write_varint(out, bytes.len() as u64);
+    let mut i = 0;
+    while i < bytes.len() {
+        let value = bytes[i];
+        let mut run = 1usize;
+        while i + run < bytes.len() && bytes[i + run] == value {
+            run += 1;
+        }
+        write_varint(out, run as u64);
+        out.push(value);
+        i += run;
+    }
+}
+
+/// Decodes a [`rle_encode`] stream; returns `None` on malformed input.
+#[must_use]
+pub fn rle_decode(data: &[u8], pos: &mut usize) -> Option<Vec<u8>> {
+    let total = usize::try_from(read_varint(data, pos)?).ok()?;
+    // Guard against absurd allocations from corrupted headers.
+    if total > 1 << 28 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let run = usize::try_from(read_varint(data, pos)?).ok()?;
+        if run == 0 || run > total - out.len() {
+            return None;
+        }
+        let value = *data.get(*pos)?;
+        *pos += 1;
+        out.resize(out.len() + run, value);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_truncated_is_none() {
+        let buf = vec![0x80, 0x80]; // continuation bits with no terminator
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn rle_roundtrip_runs() {
+        let data = [0u8, 0, 0, 5, 5, 9, 0, 0, 0, 0];
+        let mut buf = Vec::new();
+        rle_encode(&mut buf, &data);
+        let mut pos = 0;
+        assert_eq!(rle_decode(&buf, &mut pos).as_deref(), Some(&data[..]));
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn rle_compresses_constant_input() {
+        let data = vec![7u8; 10_000];
+        let mut buf = Vec::new();
+        rle_encode(&mut buf, &data);
+        assert!(
+            buf.len() < 10,
+            "constant run should collapse: {}",
+            buf.len()
+        );
+    }
+
+    #[test]
+    fn rle_empty() {
+        let mut buf = Vec::new();
+        rle_encode(&mut buf, &[]);
+        let mut pos = 0;
+        assert_eq!(rle_decode(&buf, &mut pos), Some(Vec::new()));
+    }
+
+    #[test]
+    fn rle_malformed_run_is_none() {
+        // Claims 5 bytes but provides a run of 200.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 5);
+        write_varint(&mut buf, 200);
+        buf.push(1);
+        let mut pos = 0;
+        assert_eq!(rle_decode(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn rle_worst_case_alternating() {
+        let data: Vec<u8> = (0..512).map(|i| (i % 2) as u8).collect();
+        let mut buf = Vec::new();
+        rle_encode(&mut buf, &data);
+        let mut pos = 0;
+        assert_eq!(rle_decode(&buf, &mut pos).as_deref(), Some(&data[..]));
+    }
+}

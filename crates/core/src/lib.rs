@@ -1,0 +1,47 @@
+//! OnDemand Rendering (ODR): the paper's core mechanisms, plus the baseline
+//! FPS regulators it is evaluated against.
+//!
+//! ODR (EuroSys'24) regulates the frame rate of a cloud 3D pipeline with
+//! three cooperating mechanisms:
+//!
+//! 1. **Multi-buffering** ([`FrameQueue`], [`SyncQueue`]) — bounded
+//!    front/back frame buffers between the 3D application and the server
+//!    proxy (Mul-Buf1) and between the proxy and the network (Mul-Buf2).
+//!    Producers *block* on a full buffer instead of overwriting, so every
+//!    stage naturally paces itself to the slowest stage without collecting
+//!    any timing feedback.
+//! 2. **FPS regulation** ([`FpsRegulator`], the paper's Algorithm 1) — an
+//!    accumulated-delay pacing loop in the proxy that sleeps when encoding
+//!    runs ahead of the target interval and — unlike prior regulators —
+//!    *accelerates* (runs back-to-back) when behind, so the target is met
+//!    over every small window despite processing-time spikes.
+//! 3. **PriorityFrame** ([`PriorityGate`]) — frames triggered by user
+//!    inputs cancel the rendering delay, flush obsolete buffered frames,
+//!    and skip the regulator sleep, keeping motion-to-photon latency low.
+//!
+//! The baselines the paper compares against live here too, so that the
+//! simulator and the real-time runtime share one implementation:
+//! interval-based regulation ([`IntervalPacer`]), its FPS-maximising
+//! adaptive variant ([`AdaptiveIntervalPacer`]), and Remote VSync
+//! ([`RvsRegulator`]).
+//!
+//! Everything in this crate is expressed over [`odr_simtime::SimTime`] and
+//! plain state machines, so the same code drives both the discrete-event
+//! simulator (`odr-pipeline`) and the real-thread runtime (`odr-runtime`,
+//! via [`SyncQueue`]).
+
+pub mod pacer;
+pub mod priority;
+pub mod queue;
+pub mod regulator;
+pub mod rvs;
+pub mod spec;
+pub mod sync_queue;
+
+pub use pacer::{AdaptiveIntervalPacer, IntervalPacer};
+pub use priority::PriorityGate;
+pub use queue::{FrameQueue, Publish};
+pub use regulator::FpsRegulator;
+pub use rvs::RvsRegulator;
+pub use spec::{FpsGoal, OdrOptions, RegulationSpec};
+pub use sync_queue::SyncQueue;

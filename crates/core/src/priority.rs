@@ -1,0 +1,154 @@
+//! PriorityFrame — input-triggered frame prioritisation (Section 5.3).
+
+use odr_simtime::SimTime;
+
+/// Tracks pending user inputs on the application side and decides which
+/// frames are *priority frames*.
+///
+/// The paper's PriorityFrame has two halves. The half inside the 3D
+/// application (implemented there by hooking `XNextEvent`) detects user
+/// input and, when one is pending, cancels the rendering delay so the
+/// responding frame renders immediately. This type is that detector: the
+/// pipeline calls [`PriorityGate::input_arrived`] when an input reaches
+/// the application, and [`PriorityGate::begin_frame`] when a frame starts
+/// rendering — which consumes the pending inputs and marks the frame as a
+/// priority frame carrying the *oldest* unconsumed input (the one whose
+/// motion-to-photon latency the frame determines).
+///
+/// The proxy-side half (no delays for priority frames, obsolete-frame
+/// flush) is driven by the pipeline from the frame's priority tag.
+///
+/// # Examples
+///
+/// ```
+/// use odr_core::PriorityGate;
+/// use odr_simtime::SimTime;
+///
+/// let mut gate = PriorityGate::new();
+/// assert!(gate.begin_frame().is_none()); // internal refresh frame
+///
+/// gate.input_arrived(7, SimTime::from_secs(1));
+/// assert_eq!(gate.begin_frame(), Some(7)); // priority frame for input 7
+/// assert!(gate.begin_frame().is_none());   // consumed
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PriorityGate {
+    /// Oldest unconsumed input: (id, arrival at the application).
+    pending: Option<(u64, SimTime)>,
+    /// Inputs combined into the currently pending one (arrived before the
+    /// next frame started).
+    combined: u64,
+    inputs_seen: u64,
+    priority_frames: u64,
+}
+
+impl PriorityGate {
+    /// Creates a gate with no pending input.
+    #[must_use]
+    pub fn new() -> Self {
+        PriorityGate::default()
+    }
+
+    /// Records that input `id` reached the application at `now`.
+    ///
+    /// If an earlier input is still pending (the application has not
+    /// started a frame since), the inputs are *combined*: the frame will
+    /// answer both, and latency is measured from the oldest — matching the
+    /// pending-input combining the paper's benchmarks already perform.
+    pub fn input_arrived(&mut self, id: u64, now: SimTime) {
+        self.inputs_seen += 1;
+        if self.pending.is_some() {
+            self.combined += 1;
+        } else {
+            self.pending = Some((id, now));
+        }
+    }
+
+    /// Returns `true` if an input is waiting — the application must cancel
+    /// its rendering delay (the ODR app-side hook).
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Called when the application starts simulating/rendering a frame.
+    /// Consumes the pending input, if any, and returns its id: the new
+    /// frame is the priority frame answering that input.
+    pub fn begin_frame(&mut self) -> Option<u64> {
+        let taken = self.pending.take();
+        if taken.is_some() {
+            self.priority_frames += 1;
+        }
+        taken.map(|(id, _)| id)
+    }
+
+    /// The arrival time of the pending input, if any (used to bound how
+    /// long an input may wait).
+    #[must_use]
+    pub fn pending_since(&self) -> Option<SimTime> {
+        self.pending.map(|(_, t)| t)
+    }
+
+    /// Total inputs observed.
+    #[must_use]
+    pub fn inputs_seen(&self) -> u64 {
+        self.inputs_seen
+    }
+
+    /// Inputs that were combined into an earlier pending input.
+    #[must_use]
+    pub fn inputs_combined(&self) -> u64 {
+        self.combined
+    }
+
+    /// Frames marked as priority frames.
+    #[must_use]
+    pub fn priority_frames(&self) -> u64 {
+        self.priority_frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refresh_frames_are_not_priority() {
+        let mut g = PriorityGate::new();
+        for _ in 0..10 {
+            assert!(g.begin_frame().is_none());
+        }
+        assert_eq!(g.priority_frames(), 0);
+    }
+
+    #[test]
+    fn input_makes_next_frame_priority() {
+        let mut g = PriorityGate::new();
+        g.input_arrived(1, SimTime::ZERO);
+        assert!(g.has_pending());
+        assert_eq!(g.begin_frame(), Some(1));
+        assert!(!g.has_pending());
+        assert_eq!(g.priority_frames(), 1);
+    }
+
+    #[test]
+    fn burst_inputs_are_combined_onto_oldest() {
+        let mut g = PriorityGate::new();
+        g.input_arrived(1, SimTime::from_nanos(100));
+        g.input_arrived(2, SimTime::from_nanos(200));
+        g.input_arrived(3, SimTime::from_nanos(300));
+        // The frame answers the burst; latency is measured from input 1.
+        assert_eq!(g.begin_frame(), Some(1));
+        assert_eq!(g.inputs_combined(), 2);
+        assert_eq!(g.inputs_seen(), 3);
+        assert_eq!(g.begin_frame(), None);
+    }
+
+    #[test]
+    fn pending_since_reports_arrival() {
+        let mut g = PriorityGate::new();
+        assert_eq!(g.pending_since(), None);
+        g.input_arrived(9, SimTime::from_secs(2));
+        assert_eq!(g.pending_since(), Some(SimTime::from_secs(2)));
+    }
+}

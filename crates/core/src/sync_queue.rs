@@ -1,0 +1,307 @@
+//! Thread-safe multi-buffer for the real-time runtime.
+//!
+//! [`SyncQueue`] wraps the pure [`crate::FrameQueue`] state machine in a
+//! mutex/condvar pair so real producer and consumer threads get exactly the
+//! paper's swap semantics: the producer blocks while the buffer is full
+//! (ODR mode) or replaces the newest pending frame (unregulated mode), the
+//! consumer blocks while it is empty, and a priority publish flushes
+//! obsolete frames and jumps the queue.
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::queue::{FrameQueue, FullPolicy, Publish};
+
+struct Inner<T> {
+    queue: FrameQueue<T>,
+    closed: bool,
+}
+
+/// A bounded, closable, multi-buffer channel between two pipeline threads.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use odr_core::SyncQueue;
+///
+/// let q = Arc::new(SyncQueue::new_blocking(1));
+/// let producer = {
+///     let q = Arc::clone(&q);
+///     std::thread::spawn(move || {
+///         for i in 0..100 {
+///             q.publish_blocking(i);
+///         }
+///         q.close();
+///     })
+/// };
+/// let mut got = Vec::new();
+/// while let Some(v) = q.pop_blocking() {
+///     got.push(v);
+/// }
+/// producer.join().unwrap();
+/// assert_eq!(got, (0..100).collect::<Vec<_>>());
+/// ```
+pub struct SyncQueue<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled when a frame is popped (space available).
+    space: Condvar,
+    /// Signalled when a frame is published (data available).
+    data: Condvar,
+}
+
+impl<T> SyncQueue<T> {
+    /// Creates a queue whose producer blocks when `capacity` frames are
+    /// pending (ODR multi-buffer mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new_blocking(capacity: usize) -> Self {
+        SyncQueue {
+            inner: Mutex::new(Inner {
+                queue: FrameQueue::new(capacity, FullPolicy::Block),
+                closed: false,
+            }),
+            space: Condvar::new(),
+            data: Condvar::new(),
+        }
+    }
+
+    /// Creates a queue whose producer overwrites the newest pending frame
+    /// when full (unregulated mode — excessive frames are dropped here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new_overwriting(capacity: usize) -> Self {
+        SyncQueue {
+            inner: Mutex::new(Inner {
+                queue: FrameQueue::new(capacity, FullPolicy::Overwrite),
+                closed: false,
+            }),
+            space: Condvar::new(),
+            data: Condvar::new(),
+        }
+    }
+
+    /// Publishes a frame, blocking while the buffer is full (in blocking
+    /// mode). Returns `false` if the queue was closed (frame discarded).
+    pub fn publish_blocking(&self, frame: T) -> bool {
+        let mut guard = self.inner.lock();
+        let mut frame = frame;
+        loop {
+            if guard.closed {
+                return false;
+            }
+            match guard.queue.publish(frame) {
+                Publish::Stored | Publish::ReplacedNewest => {
+                    self.data.notify_one();
+                    return true;
+                }
+                Publish::WouldBlock(returned) => {
+                    frame = returned;
+                    self.space.wait(&mut guard);
+                }
+            }
+        }
+    }
+
+    /// Pops the oldest frame, blocking while the buffer is empty. Returns
+    /// `None` once the queue is closed *and* drained.
+    pub fn pop_blocking(&self) -> Option<T> {
+        let mut guard = self.inner.lock();
+        loop {
+            if let Some(frame) = guard.queue.pop() {
+                self.space.notify_one();
+                return Some(frame);
+            }
+            if guard.closed {
+                return None;
+            }
+            self.data.wait(&mut guard);
+        }
+    }
+
+    /// Attempts to pop without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut guard = self.inner.lock();
+        let frame = guard.queue.pop();
+        if frame.is_some() {
+            self.space.notify_one();
+        }
+        frame
+    }
+
+    /// Priority publish: flushes every pending (obsolete) frame and stores
+    /// this one, never blocking. Returns the number of frames flushed, or
+    /// `None` if the queue was closed.
+    pub fn publish_priority(&self, frame: T) -> Option<usize> {
+        let mut guard = self.inner.lock();
+        if guard.closed {
+            return None;
+        }
+        let flushed = guard.queue.flush_obsolete();
+        let outcome = guard.queue.publish(frame);
+        debug_assert!(matches!(outcome, Publish::Stored));
+        self.data.notify_one();
+        self.space.notify_one();
+        Some(flushed)
+    }
+
+    /// Closes the queue: producers stop, consumers drain then get `None`.
+    pub fn close(&self) {
+        let mut guard = self.inner.lock();
+        guard.closed = true;
+        self.data.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Returns `true` if the queue has been closed.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+
+    /// Total frames dropped by overwrites or priority flushes.
+    #[must_use]
+    pub fn drops(&self) -> u64 {
+        self.inner.lock().queue.drops()
+    }
+
+    /// Current number of pending frames.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// Returns `true` if no frames are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::{sync::Arc, thread, time::Duration};
+
+    #[test]
+    fn spsc_transfers_all_frames_in_order() {
+        let q = Arc::new(SyncQueue::new_blocking(2));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                for i in 0..10_000u32 {
+                    assert!(q.publish_blocking(i));
+                }
+                q.close();
+            })
+        };
+        let mut expected = 0u32;
+        while let Some(v) = q.pop_blocking() {
+            assert_eq!(v, expected);
+            expected += 1;
+        }
+        assert_eq!(expected, 10_000);
+        producer.join().expect("producer");
+        assert_eq!(q.drops(), 0);
+    }
+
+    #[test]
+    fn overwriting_queue_drops_under_slow_consumer() {
+        let q = Arc::new(SyncQueue::new_overwriting(1));
+        for i in 0..100u32 {
+            assert!(q.publish_blocking(i));
+        }
+        // Only the most recent frame survives.
+        assert_eq!(q.try_pop(), Some(99));
+        assert_eq!(q.drops(), 99);
+    }
+
+    #[test]
+    fn close_unblocks_producer() {
+        let q = Arc::new(SyncQueue::new_blocking(1));
+        assert!(q.publish_blocking(1u8));
+        let blocked = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.publish_blocking(2))
+        };
+        thread::sleep(Duration::from_millis(50));
+        q.close();
+        assert!(
+            !blocked.join().expect("thread"),
+            "publish after close must fail"
+        );
+    }
+
+    #[test]
+    fn close_unblocks_consumer_after_drain() {
+        let q = Arc::new(SyncQueue::new_blocking(4));
+        q.publish_blocking(1u8);
+        q.close();
+        assert_eq!(q.pop_blocking(), Some(1));
+        assert_eq!(q.pop_blocking(), None);
+    }
+
+    #[test]
+    fn priority_publish_flushes_obsolete() {
+        let q = SyncQueue::new_blocking(3);
+        q.publish_blocking(1u8);
+        q.publish_blocking(2);
+        assert_eq!(q.publish_priority(99), Some(2));
+        assert_eq!(q.try_pop(), Some(99));
+        assert_eq!(q.try_pop(), None);
+        assert_eq!(q.drops(), 2);
+    }
+
+    #[test]
+    fn priority_publish_on_closed_queue_fails() {
+        let q: SyncQueue<u8> = SyncQueue::new_blocking(1);
+        q.close();
+        assert_eq!(q.publish_priority(1), None);
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn try_pop_on_empty_is_none() {
+        let q: SyncQueue<u8> = SyncQueue::new_blocking(1);
+        assert_eq!(q.try_pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn backpressure_paces_producer() {
+        // A slow consumer forces the producer's throughput down to its own:
+        // the multi-buffer synchronisation the paper relies on.
+        let q = Arc::new(SyncQueue::new_blocking(1));
+        let produced = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let producer = {
+            let q = Arc::clone(&q);
+            let produced = Arc::clone(&produced);
+            thread::spawn(move || {
+                while q.publish_blocking(()) {
+                    produced.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            })
+        };
+        let mut consumed = 0;
+        for _ in 0..20 {
+            thread::sleep(Duration::from_millis(2));
+            if q.pop_blocking().is_some() {
+                consumed += 1;
+            }
+        }
+        q.close();
+        while q.pop_blocking().is_some() {}
+        producer.join().expect("producer");
+        let produced = produced.load(std::sync::atomic::Ordering::Relaxed);
+        // Producer can be at most consumed + capacity + 1 in flight ahead.
+        assert!(
+            produced <= consumed + 3,
+            "produced {produced}, consumed {consumed}"
+        );
+    }
+}

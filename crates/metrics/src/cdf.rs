@@ -1,0 +1,135 @@
+//! Empirical cumulative distribution functions (Figure 4a).
+
+/// An empirical CDF built from a set of samples.
+///
+/// # Examples
+///
+/// ```
+/// use odr_metrics::Cdf;
+///
+/// let cdf = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+/// assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+/// assert_eq!(cdf.fraction_at_or_below(10.0), 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from an iterator of samples; non-finite values are
+    /// discarded.
+    #[must_use]
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(f64::total_cmp);
+        Cdf { sorted }
+    }
+
+    /// Returns the number of underlying samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` if the CDF was built from no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Returns `P(X <= x)`, or 0.0 for an empty CDF.
+    #[must_use]
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Returns the value below which fraction `q` (in `[0, 1]`) of the mass
+    /// lies, or 0.0 for an empty CDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx =
+            ((q * (self.sorted.len() - 1) as f64).round() as usize).min(self.sorted.len() - 1);
+        self.sorted[idx]
+    }
+
+    /// Returns `points` evenly spaced `(value, cumulative_probability)`
+    /// pairs suitable for plotting, spanning the sample range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    #[must_use]
+    pub fn plot_points(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two plot points");
+        if self.sorted.is_empty() {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty");
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = Cdf::from_samples([]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), 0.0);
+        assert!(cdf.plot_points(5).is_empty());
+    }
+
+    #[test]
+    fn fraction_counts_ties() {
+        let cdf = Cdf::from_samples([1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.75);
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let cdf = Cdf::from_samples([5.0, 1.0, 3.0]);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(1.0), 5.0);
+    }
+
+    #[test]
+    fn plot_points_monotone() {
+        let cdf = Cdf::from_samples((0..100).map(|i| (i as f64).sqrt()));
+        let pts = cdf.plot_points(20);
+        assert_eq!(pts.len(), 20);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(pts.last().expect("non-empty").1, 1.0);
+    }
+
+    #[test]
+    fn drops_non_finite() {
+        let cdf = Cdf::from_samples([f64::NAN, 1.0, f64::INFINITY]);
+        assert_eq!(cdf.len(), 1);
+    }
+}

@@ -1,0 +1,277 @@
+//! Windowed frame-rate measurement and FPS-gap accounting.
+//!
+//! The paper measures FPS as frames per one-second window and defines the
+//! *FPS gap* of a pipeline as the difference between the rendering rate and
+//! the client (decoding) rate over the same windows (Figures 1, 3; Table 2).
+//! It also argues (Section 5.2) that meeting the FPS target *per small
+//! period* (≈200 ms) is the right regulation goal, which
+//! [`WindowedRate::fraction_meeting`] quantifies.
+
+use core::time::Duration;
+
+use odr_simtime::SimTime;
+
+use crate::summary::Summary;
+
+/// Counts discrete events (frames) into fixed-size time windows and reports
+/// per-window rates.
+///
+/// Events must be recorded in non-decreasing time order, which is what a
+/// discrete-event simulation naturally produces.
+///
+/// # Examples
+///
+/// ```
+/// use core::time::Duration;
+/// use odr_metrics::WindowedRate;
+/// use odr_simtime::SimTime;
+///
+/// let mut r = WindowedRate::new(Duration::from_secs(1));
+/// for i in 0..120 {
+///     r.record(SimTime::from_nanos(i * 16_666_667)); // ~60 fps for 2 s
+/// }
+/// let rates = r.rates(SimTime::from_secs(2));
+/// assert_eq!(rates.len(), 2);
+/// assert!((rates[0] - 60.0).abs() <= 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WindowedRate {
+    window: Duration,
+    /// Completed-window counts, index = window number.
+    counts: Vec<u32>,
+    total: u64,
+}
+
+impl WindowedRate {
+    /// Creates a counter with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: Duration) -> Self {
+        assert!(window > Duration::ZERO, "window must be positive");
+        WindowedRate {
+            window,
+            counts: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Records one event at `time`.
+    pub fn record(&mut self, time: SimTime) {
+        let idx = (time.as_nanos() / odr_simtime::time::duration_nanos(self.window)) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Returns the total number of recorded events.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Returns the per-window rates (events per second) for every window
+    /// that *completed* before `end`. The final partial window is dropped so
+    /// a run that stops mid-window does not understate its last rate.
+    #[must_use]
+    pub fn rates(&self, end: SimTime) -> Vec<f64> {
+        let complete = (end.as_nanos() / odr_simtime::time::duration_nanos(self.window)) as usize;
+        let scale = 1.0 / self.window.as_secs_f64();
+        (0..complete)
+            .map(|i| f64::from(self.counts.get(i).copied().unwrap_or(0)) * scale)
+            .collect()
+    }
+
+    /// Returns the mean rate over complete windows, or 0.0 if none finished.
+    #[must_use]
+    pub fn mean_rate(&self, end: SimTime) -> f64 {
+        let rates = self.rates(end);
+        if rates.is_empty() {
+            return 0.0;
+        }
+        rates.iter().sum::<f64>() / rates.len() as f64
+    }
+
+    /// Returns a [`Summary`] over the per-window rates.
+    #[must_use]
+    pub fn summary(&self, end: SimTime) -> Summary {
+        self.rates(end).into_iter().collect()
+    }
+
+    /// Returns the fraction of complete windows whose rate is at least
+    /// `target`, minus a one-frame-per-window tolerance, or 0.0 if no
+    /// window finished.
+    ///
+    /// This is the paper's "FPS target met for each small period" check
+    /// (Section 5.2 uses 200 ms windows). The tolerance absorbs window
+    /// quantisation: at 60 FPS a 200 ms window legitimately alternates
+    /// between 12 and 11 whole frames, so counts are only meaningful to
+    /// ±1 frame.
+    #[must_use]
+    pub fn fraction_meeting(&self, end: SimTime, target: f64) -> f64 {
+        let rates = self.rates(end);
+        if rates.is_empty() {
+            return 0.0;
+        }
+        let tolerance = 1.0 / self.window.as_secs_f64();
+        let ok = rates.iter().filter(|&&r| r + tolerance >= target).count();
+        ok as f64 / rates.len() as f64
+    }
+}
+
+/// FPS-gap accounting between a producing stage (cloud rendering) and a
+/// consuming stage (client decoding), per Table 2.
+///
+/// The gap in a window is `max(producer_rate - consumer_rate, 0)`; the paper
+/// reports its average and maximum across windows.
+#[derive(Clone, Debug)]
+pub struct FpsGap {
+    /// Rendering-side counter.
+    pub producer: WindowedRate,
+    /// Client-side counter.
+    pub consumer: WindowedRate,
+}
+
+/// Result of an [`FpsGap::stats`] query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GapStats {
+    /// Mean of the per-window gaps.
+    pub avg: f64,
+    /// Maximum per-window gap.
+    pub max: f64,
+}
+
+impl FpsGap {
+    /// Creates gap accounting with the given window length.
+    #[must_use]
+    pub fn new(window: Duration) -> Self {
+        FpsGap {
+            producer: WindowedRate::new(window),
+            consumer: WindowedRate::new(window),
+        }
+    }
+
+    /// Returns the average and maximum windowed gap up to `end`.
+    #[must_use]
+    pub fn stats(&self, end: SimTime) -> GapStats {
+        let p = self.producer.rates(end);
+        let c = self.consumer.rates(end);
+        let n = p.len().max(c.len());
+        if n == 0 {
+            return GapStats { avg: 0.0, max: 0.0 };
+        }
+        let mut sum = 0.0;
+        let mut max = 0.0f64;
+        for i in 0..n {
+            let gap =
+                (p.get(i).copied().unwrap_or(0.0) - c.get(i).copied().unwrap_or(0.0)).max(0.0);
+            sum += gap;
+            max = max.max(gap);
+        }
+        GapStats {
+            avg: sum / n as f64,
+            max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at_ms(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn rates_per_window() {
+        let mut r = WindowedRate::new(Duration::from_secs(1));
+        for ms in [100, 200, 300, 1100, 1200] {
+            r.record(at_ms(ms));
+        }
+        assert_eq!(r.rates(at_ms(2000)), vec![3.0, 2.0]);
+        assert_eq!(r.total(), 5);
+    }
+
+    #[test]
+    fn partial_window_dropped() {
+        let mut r = WindowedRate::new(Duration::from_secs(1));
+        r.record(at_ms(100));
+        r.record(at_ms(1500));
+        assert_eq!(r.rates(at_ms(1500)), vec![1.0]);
+    }
+
+    #[test]
+    fn empty_windows_count_zero() {
+        let mut r = WindowedRate::new(Duration::from_secs(1));
+        r.record(at_ms(2500));
+        assert_eq!(r.rates(at_ms(3000)), vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn mean_rate_empty() {
+        let r = WindowedRate::new(Duration::from_secs(1));
+        assert_eq!(r.mean_rate(at_ms(500)), 0.0);
+    }
+
+    #[test]
+    fn fraction_meeting_target() {
+        let mut r = WindowedRate::new(Duration::from_millis(200));
+        // 12 events in window 0 (60 fps), 8 in window 1 (40 fps): only
+        // the first window meets a 60 fps target within the one-frame
+        // tolerance.
+        for i in 0..12 {
+            r.record(at_ms(i * 16));
+        }
+        for i in 0..8 {
+            r.record(at_ms(200 + i * 25));
+        }
+        let f = r.fraction_meeting(at_ms(400), 60.0);
+        assert!((f - 0.5).abs() < 1e-9, "fraction {f}");
+    }
+
+    #[test]
+    fn sub_second_windows() {
+        let mut r = WindowedRate::new(Duration::from_millis(200));
+        for i in 0..10 {
+            r.record(at_ms(i * 20)); // 10 events in 200ms = 50/s
+        }
+        assert_eq!(r.rates(at_ms(200)), vec![50.0]);
+    }
+
+    #[test]
+    fn gap_stats() {
+        let mut g = FpsGap::new(Duration::from_secs(1));
+        // Producer: 5 then 3; consumer: 2 then 3.
+        for ms in [0, 100, 200, 300, 400, 1000, 1100, 1200] {
+            g.producer.record(at_ms(ms));
+        }
+        for ms in [0, 500, 1000, 1100, 1200] {
+            g.consumer.record(at_ms(ms));
+        }
+        let s = g.stats(at_ms(2000));
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.avg, 1.5);
+    }
+
+    #[test]
+    fn gap_clamped_at_zero() {
+        let mut g = FpsGap::new(Duration::from_secs(1));
+        g.consumer.record(at_ms(100));
+        g.consumer.record(at_ms(200));
+        g.producer.record(at_ms(300));
+        let s = g.stats(at_ms(1000));
+        assert_eq!(s.avg, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = WindowedRate::new(Duration::ZERO);
+    }
+}

@@ -1,0 +1,516 @@
+//! Network link model: propagation latency, jitter, bandwidth, and FIFO
+//! queueing.
+//!
+//! The ODR paper's most striking latency result (Section 6.4) is that under
+//! *no* FPS regulation on Google Compute Engine, the motion-to-photon
+//! latency exploded to multiple seconds because the excessive frame stream
+//! congested the network path — frames queued behind each other for seconds.
+//! Reproducing that effect requires a link model in which transmission is a
+//! serial resource: a frame cannot start serialising onto the wire until the
+//! previous one has finished, so offered load above capacity grows the queue
+//! without bound.
+//!
+//! [`Link`] models one direction of a path as
+//! `arrival = serialisation-start + size/bandwidth + propagation + jitter`,
+//! where serialisation-start is the later of "now" and "when the link frees"
+//! (FIFO). It is a pure calculator over simulation time — the caller owns
+//! the event loop — which keeps it trivially deterministic.
+
+use odr_metrics::Summary;
+use odr_simtime::{time::secs_f64, Duration, Rng, SimTime};
+
+/// Parameters of one link direction.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkParams {
+    /// One-way propagation latency.
+    pub latency: Duration,
+    /// Standard deviation of the (log-normal) jitter multiplier applied to
+    /// the propagation latency. `0.0` disables jitter.
+    pub jitter_sigma: f64,
+    /// Link capacity in bits per second.
+    pub bandwidth_bps: f64,
+    /// Send-buffer capacity in bytes (socket + kernel + bottleneck queue).
+    ///
+    /// When the unserialised backlog exceeds this, [`Link::send`] reports an
+    /// `accepted` time later than the submit time: the sender is blocked the
+    /// way a full TCP socket blocks a `write(2)`. `None` means unbounded.
+    pub buffer_cap_bytes: Option<u64>,
+    /// Per-message loss probability. A lost message is retransmitted
+    /// TCP-style: the sender learns of the loss one retransmission timeout
+    /// later and reoccupies the wire, head-of-line blocking everything
+    /// behind it. `0.0` disables loss.
+    pub loss_prob: f64,
+}
+
+impl LinkParams {
+    /// A symmetric LAN-class link (the paper's private cloud: 1 Gb/s,
+    /// ~1 ms one-way).
+    #[must_use]
+    pub fn private_cloud() -> Self {
+        LinkParams {
+            latency: Duration::from_micros(1000),
+            jitter_sigma: 0.10,
+            bandwidth_bps: 1e9,
+            buffer_cap_bytes: Some(4 << 20),
+            loss_prob: 0.0,
+        }
+    }
+
+    /// A WAN path to a public-cloud region (the paper's GCE deployment:
+    /// ~25 ms ping, so ~12.5 ms one-way; effective per-flow throughput well
+    /// below the nominal NIC rate, and deep bufferbloat-style queues).
+    #[must_use]
+    pub fn public_cloud() -> Self {
+        LinkParams {
+            latency: Duration::from_micros(12_500),
+            jitter_sigma: 0.18,
+            bandwidth_bps: 45e6,
+            buffer_cap_bytes: Some(16 << 20),
+            loss_prob: 0.0,
+        }
+    }
+}
+
+/// The result of submitting one message to a [`Link`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// When the send buffer had room for the message: the sender's blocking
+    /// `write` returns at this time (equals the submit time unless the
+    /// buffer was full).
+    pub accepted: SimTime,
+    /// When the message began serialising onto the wire.
+    pub tx_start: SimTime,
+    /// When the last bit left the sender (the link is busy until then).
+    pub tx_end: SimTime,
+    /// When the message arrives at the receiver.
+    pub arrival: SimTime,
+}
+
+/// One direction of a network path with FIFO serialisation.
+///
+/// # Examples
+///
+/// ```
+/// use odr_netsim::{Link, LinkParams};
+/// use odr_simtime::{Duration, Rng, SimTime};
+///
+/// let params = LinkParams {
+///     latency: Duration::from_millis(10),
+///     jitter_sigma: 0.0,
+///     bandwidth_bps: 8e6, // 1 MB/s
+///     buffer_cap_bytes: None,
+///     loss_prob: 0.0,
+/// };
+/// let mut link = Link::new(params, Rng::new(1));
+///
+/// // Two back-to-back 100 kB frames: the second queues behind the first.
+/// let a = link.send(SimTime::ZERO, 100_000);
+/// let b = link.send(SimTime::ZERO, 100_000);
+/// assert_eq!(a.tx_start, SimTime::ZERO);
+/// assert_eq!(b.tx_start, a.tx_end);
+/// assert!(b.arrival > a.arrival);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Link {
+    params: LinkParams,
+    rng: Rng,
+    busy_until: SimTime,
+    bytes_sent: u64,
+    messages_sent: u64,
+    retransmissions: u64,
+    queue_delay: Summary,
+    transit: Summary,
+    busy_time: Duration,
+}
+
+impl Link {
+    /// Creates an idle link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not strictly positive.
+    #[must_use]
+    pub fn new(params: LinkParams, rng: Rng) -> Self {
+        assert!(params.bandwidth_bps > 0.0, "bandwidth must be positive");
+        assert!(
+            (0.0..1.0).contains(&params.loss_prob),
+            "loss probability out of range"
+        );
+        Link {
+            params,
+            rng,
+            busy_until: SimTime::ZERO,
+            bytes_sent: 0,
+            messages_sent: 0,
+            retransmissions: 0,
+            queue_delay: Summary::new(),
+            transit: Summary::new(),
+            busy_time: Duration::ZERO,
+        }
+    }
+
+    /// Returns the configured parameters.
+    #[must_use]
+    pub fn params(&self) -> LinkParams {
+        self.params
+    }
+
+    /// Submits a `bytes`-long message at time `now` and returns its
+    /// delivery schedule. Messages are serialised strictly FIFO.
+    ///
+    /// If the send buffer is over capacity, the returned
+    /// [`Delivery::accepted`] is pushed past `now` to the instant the
+    /// backlog drains below the cap — a blocking-socket model. Callers that
+    /// honour backpressure must not submit their next message before
+    /// `accepted`.
+    pub fn send(&mut self, now: SimTime, bytes: u64) -> Delivery {
+        let tx_start = now.max(self.busy_until);
+        let tx_time = secs_f64(bytes as f64 * 8.0 / self.params.bandwidth_bps);
+        let mut tx_end = tx_start + tx_time;
+
+        // TCP-style loss recovery: a lost message is detected one
+        // retransmission timeout after it finished serialising and then
+        // reoccupies the wire, delaying everything queued behind it. Up
+        // to three retransmissions per message.
+        if self.params.loss_prob > 0.0 {
+            let rto = self
+                .params
+                .latency
+                .saturating_mul(2)
+                .max(Duration::from_millis(10));
+            let mut attempts = 0;
+            while attempts < 3 && self.rng.chance(self.params.loss_prob) {
+                tx_end = tx_end + rto + tx_time;
+                self.busy_time += tx_time;
+                self.retransmissions += 1;
+                attempts += 1;
+            }
+        }
+
+        let propagation = self.sample_propagation();
+        let arrival = tx_end + propagation;
+
+        let accepted = match self.params.buffer_cap_bytes {
+            None => now,
+            Some(cap) => {
+                let cap_drain = secs_f64(cap as f64 * 8.0 / self.params.bandwidth_bps);
+                // The write returns once everything ahead of (and including)
+                // this message beyond the buffer capacity has drained.
+                now.max(tx_end - cap_drain)
+            }
+        };
+
+        self.busy_until = tx_end;
+        self.busy_time += tx_time;
+        self.bytes_sent += bytes;
+        self.messages_sent += 1;
+        self.queue_delay
+            .record((tx_start - now).as_secs_f64() * 1e3);
+        self.transit.record((arrival - now).as_secs_f64() * 1e3);
+
+        Delivery {
+            accepted,
+            tx_start,
+            tx_end,
+            arrival,
+        }
+    }
+
+    /// Returns how long a message submitted at `now` would wait before
+    /// starting to serialise (the current queueing backlog).
+    #[must_use]
+    pub fn backlog(&self, now: SimTime) -> Duration {
+        self.busy_until.saturating_since(now)
+    }
+
+    /// Total bytes accepted so far.
+    #[must_use]
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total messages accepted so far.
+    #[must_use]
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Total loss-triggered retransmissions so far.
+    #[must_use]
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Mean queueing delay in milliseconds (time spent waiting for the link
+    /// to free, excluding serialisation and propagation).
+    #[must_use]
+    pub fn mean_queue_delay_ms(&self) -> f64 {
+        self.queue_delay.mean()
+    }
+
+    /// Summary of total transit times (submit → arrival) in milliseconds.
+    #[must_use]
+    pub fn transit_summary(&self) -> &Summary {
+        &self.transit
+    }
+
+    /// Link utilisation over `[ZERO, end]` (0–1).
+    #[must_use]
+    pub fn utilisation(&self, end: SimTime) -> f64 {
+        let total = end.as_secs_f64();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (self.busy_time.as_secs_f64() / total).min(1.0)
+    }
+
+    /// Average goodput in megabits per second over `[ZERO, end]`.
+    #[must_use]
+    pub fn goodput_mbps(&self, end: SimTime) -> f64 {
+        let total = end.as_secs_f64();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.bytes_sent as f64 * 8.0 / total / 1e6
+    }
+
+    fn sample_propagation(&mut self) -> Duration {
+        if self.params.jitter_sigma <= 0.0 {
+            return self.params.latency;
+        }
+        // Log-normal multiplicative jitter: median = configured latency,
+        // never negative, occasionally spiky — matching WAN behaviour.
+        let mult = self.rng.lognormal(0.0, self.params.jitter_sigma);
+        secs_f64(self.params.latency.as_secs_f64() * mult)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_link(bw_bps: f64, latency_ms: u64) -> Link {
+        Link::new(
+            LinkParams {
+                latency: Duration::from_millis(latency_ms),
+                jitter_sigma: 0.0,
+                bandwidth_bps: bw_bps,
+                buffer_cap_bytes: None,
+                loss_prob: 0.0,
+            },
+            Rng::new(42),
+        )
+    }
+
+    #[test]
+    fn idle_link_delivers_after_tx_plus_latency() {
+        let mut l = quiet_link(8e6, 10);
+        let d = l.send(SimTime::ZERO, 10_000); // 10 ms serialisation
+        assert_eq!(d.tx_start, SimTime::ZERO);
+        assert_eq!(d.tx_end, SimTime::from_nanos(10_000_000));
+        assert_eq!(d.arrival, SimTime::from_nanos(20_000_000));
+    }
+
+    #[test]
+    fn fifo_queueing_orders_messages() {
+        let mut l = quiet_link(8e6, 0);
+        let a = l.send(SimTime::ZERO, 5_000);
+        let b = l.send(SimTime::ZERO, 5_000);
+        let c = l.send(SimTime::ZERO, 5_000);
+        assert_eq!(b.tx_start, a.tx_end);
+        assert_eq!(c.tx_start, b.tx_end);
+        assert!(a.arrival < b.arrival && b.arrival < c.arrival);
+    }
+
+    #[test]
+    fn overload_grows_queue_without_bound() {
+        // Offered load 2× capacity: send 1 ms worth of bits every 0.5 ms.
+        let mut l = quiet_link(8e6, 0);
+        let mut t = SimTime::ZERO;
+        let mut last = Duration::ZERO;
+        for i in 0..1000 {
+            let d = l.send(t, 1_000);
+            if i == 999 {
+                last = d.tx_start - t;
+            }
+            t += Duration::from_micros(500);
+        }
+        // After 1000 sends the backlog is ~0.5 ms × 999 ≈ 0.5 s.
+        assert!(last > Duration::from_millis(400), "backlog was {last:?}");
+        assert!(l.mean_queue_delay_ms() > 50.0);
+    }
+
+    #[test]
+    fn underload_has_no_queueing() {
+        let mut l = quiet_link(100e6, 1);
+        let mut t = SimTime::ZERO;
+        for _ in 0..100 {
+            let d = l.send(t, 10_000); // 0.8 ms serialisation every 10 ms
+            assert_eq!(d.tx_start, t);
+            t += Duration::from_millis(10);
+        }
+        assert_eq!(l.mean_queue_delay_ms(), 0.0);
+    }
+
+    #[test]
+    fn backlog_reports_pending_time() {
+        let mut l = quiet_link(8e6, 0);
+        l.send(SimTime::ZERO, 100_000); // 100 ms of serialisation
+        assert_eq!(l.backlog(SimTime::ZERO), Duration::from_millis(100));
+        assert_eq!(
+            l.backlog(SimTime::from_nanos(60_000_000)),
+            Duration::from_millis(40)
+        );
+        assert_eq!(l.backlog(SimTime::from_secs(1)), Duration::ZERO);
+    }
+
+    #[test]
+    fn jitter_preserves_median_scale() {
+        let mut l = Link::new(
+            LinkParams {
+                latency: Duration::from_millis(10),
+                jitter_sigma: 0.2,
+                bandwidth_bps: 1e12,
+                buffer_cap_bytes: None,
+                loss_prob: 0.0,
+            },
+            Rng::new(7),
+        );
+        let mut lats: Vec<f64> = (0..2001)
+            .map(|i| {
+                let now = SimTime::from_nanos(i * 1_000_000_000);
+                (l.send(now, 1).arrival - now).as_secs_f64() * 1e3
+            })
+            .collect();
+        lats.sort_by(f64::total_cmp);
+        let median = lats[lats.len() / 2];
+        assert!((median - 10.0).abs() < 0.5, "median {median}");
+        assert!(lats[0] > 0.0);
+    }
+
+    #[test]
+    fn utilisation_and_goodput() {
+        let mut l = quiet_link(8e6, 0); // 1 MB/s
+        l.send(SimTime::ZERO, 500_000); // 0.5 s busy
+        assert!((l.utilisation(SimTime::from_secs(1)) - 0.5).abs() < 1e-9);
+        assert!((l.goodput_mbps(SimTime::from_secs(1)) - 4.0).abs() < 1e-9);
+        assert_eq!(l.bytes_sent(), 500_000);
+        assert_eq!(l.messages_sent(), 1);
+    }
+
+    #[test]
+    fn zero_time_stats_are_zero() {
+        let l = quiet_link(8e6, 0);
+        assert_eq!(l.utilisation(SimTime::ZERO), 0.0);
+        assert_eq!(l.goodput_mbps(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        let _ = Link::new(
+            LinkParams {
+                latency: Duration::ZERO,
+                jitter_sigma: 0.0,
+                bandwidth_bps: 0.0,
+                buffer_cap_bytes: None,
+                loss_prob: 0.0,
+            },
+            Rng::new(0),
+        );
+    }
+
+    #[test]
+    fn buffer_cap_blocks_sender() {
+        // 1 MB/s link with a 10 kB buffer: a 50 kB frame cannot be fully
+        // buffered, so the write blocks until all but 10 kB has drained.
+        let mut l = Link::new(
+            LinkParams {
+                latency: Duration::ZERO,
+                jitter_sigma: 0.0,
+                bandwidth_bps: 8e6,
+                buffer_cap_bytes: Some(10_000),
+                loss_prob: 0.0,
+            },
+            Rng::new(1),
+        );
+        let d = l.send(SimTime::ZERO, 50_000);
+        assert_eq!(d.tx_end, SimTime::from_nanos(50_000_000));
+        assert_eq!(d.accepted, SimTime::from_nanos(40_000_000));
+
+        // A second frame submitted immediately waits for the backlog.
+        let d2 = l.send(SimTime::ZERO, 50_000);
+        assert_eq!(d2.accepted, SimTime::from_nanos(90_000_000));
+    }
+
+    #[test]
+    fn small_sends_accepted_immediately_under_cap() {
+        let mut l = Link::new(
+            LinkParams {
+                latency: Duration::ZERO,
+                jitter_sigma: 0.0,
+                bandwidth_bps: 8e6,
+                buffer_cap_bytes: Some(100_000),
+                loss_prob: 0.0,
+            },
+            Rng::new(1),
+        );
+        let d = l.send(SimTime::from_secs(1), 1_000);
+        assert_eq!(d.accepted, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn loss_delays_and_blocks_the_line() {
+        let lossy = LinkParams {
+            latency: Duration::from_millis(10),
+            jitter_sigma: 0.0,
+            bandwidth_bps: 8e6,
+            buffer_cap_bytes: None,
+            loss_prob: 0.5,
+        };
+        let clean = LinkParams {
+            loss_prob: 0.0,
+            ..lossy
+        };
+        let mut lossy_link = Link::new(lossy, Rng::new(9));
+        let mut clean_link = Link::new(clean, Rng::new(9));
+        let mut t = SimTime::ZERO;
+        let mut lossy_sum = 0.0;
+        let mut clean_sum = 0.0;
+        let mut last_arrival = SimTime::ZERO;
+        for _ in 0..200 {
+            t += Duration::from_millis(20);
+            let d = lossy_link.send(t, 10_000);
+            assert!(d.arrival >= last_arrival, "FIFO violated under loss");
+            last_arrival = d.arrival;
+            lossy_sum += (d.arrival - t).as_secs_f64();
+            clean_sum += (clean_link.send(t, 10_000).arrival - t).as_secs_f64();
+        }
+        assert!(
+            lossy_link.retransmissions() > 50,
+            "{}",
+            lossy_link.retransmissions()
+        );
+        assert_eq!(clean_link.retransmissions(), 0);
+        assert!(
+            lossy_sum > clean_sum * 1.5,
+            "loss must inflate transit: {lossy_sum} vs {clean_sum}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability out of range")]
+    fn invalid_loss_panics() {
+        let mut p = LinkParams::private_cloud();
+        p.loss_prob = 1.5;
+        let _ = Link::new(p, Rng::new(0));
+    }
+
+    #[test]
+    fn platform_presets_are_ordered() {
+        let private = LinkParams::private_cloud();
+        let public = LinkParams::public_cloud();
+        assert!(private.latency < public.latency);
+        assert!(private.bandwidth_bps > public.bandwidth_bps);
+    }
+}

@@ -1,0 +1,169 @@
+//! Experiment configuration.
+
+use odr_core::RegulationSpec;
+use odr_netsim::LinkParams;
+use odr_simtime::Duration;
+use odr_workload::Scenario;
+
+/// How the simulated client presents decoded frames.
+///
+/// The paper measures at decode completion (the Pictor client) and leaves
+/// display-side optimisation as future work ("high frequency displays with
+/// FreeSync/GSync are designed to reduce lag by allowing frames to arrive
+/// at high but varying rates", Section 5.2). These modes let experiments
+/// quantify that: fixed-rate VSync coalesces late frames onto vblanks and
+/// adds scan-out wait, variable refresh presents on arrival down to a
+/// minimum refresh interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ClientDisplay {
+    /// Present at decode completion (the paper's measurement point).
+    Immediate,
+    /// Fixed-rate display: frames present at the next vblank; if a newer
+    /// frame decodes before the vblank, the older one is never shown.
+    VSync {
+        /// Display refresh rate in Hz.
+        refresh_hz: f64,
+    },
+    /// Variable-refresh display (FreeSync/G-Sync): frames present on
+    /// arrival, but no faster than the panel's maximum refresh rate.
+    FreeSync {
+        /// Maximum refresh rate in Hz (minimum frame-to-frame spacing).
+        max_hz: f64,
+    },
+}
+
+/// One simulated run: a workload scenario under a regulation policy.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentConfig {
+    /// The workload (benchmark × resolution × platform).
+    pub scenario: Scenario,
+    /// The FPS regulation under test.
+    pub spec: RegulationSpec,
+    /// Simulated run length, excluding warm-up.
+    pub duration: Duration,
+    /// Initial span excluded from all rate/latency metrics (queues filling,
+    /// adaptive regulators converging).
+    pub warmup: Duration,
+    /// RNG seed; equal seeds reproduce identical reports.
+    pub seed: u64,
+    /// Collect per-frame traces (needed by Figures 4 and 5; costs memory).
+    pub trace: bool,
+    /// Client presentation model.
+    pub display: ClientDisplay,
+    /// Overrides the platform's downlink (capacity sweeps and what-if
+    /// studies); `None` uses the scenario's platform link.
+    pub downlink_override: Option<LinkParams>,
+}
+
+impl ExperimentConfig {
+    /// Default evaluation length used throughout the harness: 120 s of
+    /// simulated play after a 5 s warm-up, matching the order of the
+    /// paper's per-configuration runs.
+    pub const DEFAULT_DURATION: Duration = Duration::from_secs(120);
+
+    /// Default warm-up span.
+    pub const DEFAULT_WARMUP: Duration = Duration::from_secs(5);
+
+    /// Creates a config with the default duration, warm-up and seed.
+    #[must_use]
+    pub fn new(scenario: Scenario, spec: RegulationSpec) -> Self {
+        ExperimentConfig {
+            scenario,
+            spec,
+            duration: Self::DEFAULT_DURATION,
+            warmup: Self::DEFAULT_WARMUP,
+            seed: 0x0D12_5EED ^ scenario.stream_id(),
+            trace: false,
+            display: ClientDisplay::Immediate,
+            downlink_override: None,
+        }
+    }
+
+    /// Sets the simulated duration.
+    #[must_use]
+    pub fn with_duration(mut self, duration: Duration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables per-frame tracing.
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Selects the client presentation model.
+    #[must_use]
+    pub fn with_display(mut self, display: ClientDisplay) -> Self {
+        self.display = display;
+        self
+    }
+
+    /// Overrides the downlink parameters (capacity sweeps).
+    #[must_use]
+    pub fn with_downlink_override(mut self, link: LinkParams) -> Self {
+        self.downlink_override = Some(link);
+        self
+    }
+
+    /// The effective downlink for this experiment.
+    #[must_use]
+    pub fn downlink(&self) -> LinkParams {
+        self.downlink_override
+            .unwrap_or_else(|| self.scenario.downlink())
+    }
+
+    /// Total simulated time (warm-up + measured duration).
+    #[must_use]
+    pub fn total_time(&self) -> Duration {
+        self.warmup + self.duration
+    }
+
+    /// A human-readable label, e.g. `"IM/720p/Priv ODR60"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{} {}", self.scenario.label(), self.spec.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odr_core::FpsGoal;
+    use odr_workload::{Benchmark, Platform, Resolution};
+
+    #[test]
+    fn defaults_and_builders() {
+        let scenario = Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud);
+        let cfg = ExperimentConfig::new(scenario, RegulationSpec::odr(FpsGoal::Max))
+            .with_duration(Duration::from_secs(10))
+            .with_seed(7)
+            .with_trace();
+        assert_eq!(cfg.duration, Duration::from_secs(10));
+        assert_eq!(cfg.seed, 7);
+        assert!(cfg.trace);
+        assert_eq!(cfg.total_time(), Duration::from_secs(15));
+        assert_eq!(cfg.label(), "IM/720p/Priv ODRMax");
+    }
+
+    #[test]
+    fn default_seeds_differ_per_scenario() {
+        let a = ExperimentConfig::new(
+            Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud),
+            RegulationSpec::NoReg,
+        );
+        let b = ExperimentConfig::new(
+            Scenario::new(Benchmark::Dota2, Resolution::R720p, Platform::PrivateCloud),
+            RegulationSpec::NoReg,
+        );
+        assert_ne!(a.seed, b.seed);
+    }
+}

@@ -1,0 +1,121 @@
+//! ASCII pipeline timelines (Figure 5 of the paper).
+//!
+//! Renders traced frame activity as a three-row Gantt chart — Render,
+//! Encode, Decode — over a time window, with each frame shown as its id
+//! modulo 10 and dropped frames marked with `x`. This regenerates the
+//! paper's Figure 5 pipeline illustrations from real simulation traces.
+
+use odr_simtime::SimTime;
+
+use crate::frame::FrameTrace;
+
+/// Builds the chart. `start..end` selects the window; `cols` is its width
+/// in characters.
+///
+/// # Panics
+///
+/// Panics if `end <= start` or `cols == 0`.
+#[must_use]
+pub fn ascii_timeline(traces: &[FrameTrace], start: SimTime, end: SimTime, cols: usize) -> String {
+    assert!(end > start, "empty window");
+    assert!(cols > 0, "zero-width chart");
+    let span = (end - start).as_secs_f64();
+    let col_of = |t: SimTime| -> Option<usize> {
+        if t < start || t > end {
+            return None;
+        }
+        let frac = (t - start).as_secs_f64() / span;
+        Some(((frac * cols as f64) as usize).min(cols - 1))
+    };
+
+    let mut rows = [vec![b' '; cols], vec![b' '; cols], vec![b' '; cols]];
+    for trace in traces {
+        let glyph = if trace.dropped {
+            b'x'
+        } else {
+            b'0' + (trace.id % 10) as u8
+        };
+        let spans = [(0usize, trace.render), (1, trace.encode), (2, trace.decode)];
+        for (row, interval) in spans {
+            let Some((s, e)) = interval else { continue };
+            if e < start || s > end {
+                continue;
+            }
+            let from = col_of(s.max(start)).unwrap_or(0);
+            let to = col_of(e.min(end)).unwrap_or(cols - 1);
+            for c in &mut rows[row][from..=to] {
+                *c = glyph;
+            }
+        }
+    }
+
+    let labels = ["Render |", "Encode |", "Decode |"];
+    let mut out = String::new();
+    for (label, row) in labels.iter().zip(rows.iter()) {
+        out.push_str(label);
+        out.push_str(core::str::from_utf8(row).expect("ASCII"));
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odr_simtime::Duration;
+
+    fn at_ms(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    fn trace(id: u64, render: (u64, u64), encode: (u64, u64)) -> FrameTrace {
+        FrameTrace {
+            id,
+            render: Some((at_ms(render.0), at_ms(render.1))),
+            encode: Some((at_ms(encode.0), at_ms(encode.1))),
+            ..FrameTrace::default()
+        }
+    }
+
+    #[test]
+    fn renders_three_rows() {
+        let traces = vec![trace(1, (0, 10), (10, 20)), trace(2, (10, 20), (20, 30))];
+        let chart = ascii_timeline(&traces, SimTime::ZERO, at_ms(40), 40);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("Render |"));
+        assert!(lines[0].contains('1'));
+        assert!(lines[0].contains('2'));
+        assert!(lines[1].contains('1'));
+    }
+
+    #[test]
+    fn dropped_frames_marked() {
+        let mut t = trace(3, (0, 10), (10, 20));
+        t.dropped = true;
+        let chart = ascii_timeline(&[t], SimTime::ZERO, at_ms(40), 40);
+        assert!(chart.contains('x'));
+        assert!(!chart.contains('3'));
+    }
+
+    #[test]
+    fn out_of_window_frames_skipped() {
+        let t = trace(5, (100, 110), (110, 120));
+        let chart = ascii_timeline(&[t], SimTime::ZERO, at_ms(40), 40);
+        assert!(!chart.contains('5'));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn empty_window_panics() {
+        let _ = ascii_timeline(&[], at_ms(10), at_ms(10), 10);
+    }
+
+    #[test]
+    fn clamps_partial_overlaps() {
+        let t = trace(7, (0, 100), (100, 200));
+        let chart = ascii_timeline(&[t], at_ms(50), at_ms(150), 20);
+        assert!(chart.contains('7'));
+        let _ = Duration::ZERO;
+    }
+}

@@ -1,0 +1,175 @@
+//! Color + depth render targets.
+
+/// An RGBA8 color buffer with a paired f32 depth buffer.
+#[derive(Clone, Debug)]
+pub struct Framebuffer {
+    width: u32,
+    height: u32,
+    /// Row-major RGBA pixels, packed `0xAABBGGRR` (little-endian byte order
+    /// R, G, B, A).
+    color: Vec<u32>,
+    depth: Vec<f32>,
+}
+
+impl Framebuffer {
+    /// Creates a buffer cleared to opaque black and maximum depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "empty framebuffer");
+        let n = (width as usize) * (height as usize);
+        Framebuffer {
+            width,
+            height,
+            color: vec![0xff00_0000; n],
+            depth: vec![f32::INFINITY; n],
+        }
+    }
+
+    /// Buffer width in pixels.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Buffer height in pixels.
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Clears color (to `rgb`) and depth.
+    pub fn clear(&mut self, rgb: [f32; 3]) {
+        let packed = pack(rgb);
+        self.color.fill(packed);
+        self.depth.fill(f32::INFINITY);
+    }
+
+    /// Depth-tested write of one pixel. Coordinates outside the buffer are
+    /// ignored.
+    pub fn put(&mut self, x: i32, y: i32, z: f32, rgb: [f32; 3]) {
+        if x < 0 || y < 0 || x >= self.width as i32 || y >= self.height as i32 {
+            return;
+        }
+        let idx = y as usize * self.width as usize + x as usize;
+        if z < self.depth[idx] {
+            self.depth[idx] = z;
+            self.color[idx] = pack(rgb);
+        }
+    }
+
+    /// The packed RGBA pixels, row-major.
+    #[must_use]
+    pub fn pixels(&self) -> &[u32] {
+        &self.color
+    }
+
+    /// The pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[must_use]
+    pub fn pixel(&self, x: u32, y: u32) -> u32 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.color[y as usize * self.width as usize + x as usize]
+    }
+
+    /// Raw bytes of the color buffer (RGBA interleaved) — what the server
+    /// proxy "copies" and the codec consumes.
+    #[must_use]
+    pub fn bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.color.len() * 4);
+        for px in &self.color {
+            out.extend_from_slice(&px.to_le_bytes());
+        }
+        out
+    }
+
+    /// FNV-1a checksum of the color buffer; used by determinism tests.
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for px in &self.color {
+            for b in px.to_le_bytes() {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        hash
+    }
+
+    /// Fraction of pixels that differ from the clear color `rgb` —
+    /// a cheap coverage measure for tests.
+    #[must_use]
+    pub fn coverage(&self, clear_rgb: [f32; 3]) -> f64 {
+        let clear = pack(clear_rgb);
+        let covered = self.color.iter().filter(|&&p| p != clear).count();
+        covered as f64 / self.color.len() as f64
+    }
+}
+
+/// Packs linear RGB (clamped) into `0xAABBGGRR`.
+fn pack(rgb: [f32; 3]) -> u32 {
+    let to8 = |v: f32| -> u32 { (v.clamp(0.0, 1.0) * 255.0 + 0.5) as u32 };
+    0xff00_0000 | (to8(rgb[2]) << 16) | (to8(rgb[1]) << 8) | to8(rgb[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_sets_every_pixel() {
+        let mut fb = Framebuffer::new(4, 4);
+        fb.clear([1.0, 0.0, 0.0]);
+        for y in 0..4 {
+            for x in 0..4 {
+                assert_eq!(fb.pixel(x, y) & 0x00ff_ffff, 0x0000_00ff);
+            }
+        }
+        assert_eq!(fb.coverage([1.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn depth_test_keeps_nearer_pixel() {
+        let mut fb = Framebuffer::new(2, 2);
+        fb.put(0, 0, 0.5, [0.0, 1.0, 0.0]);
+        fb.put(0, 0, 0.9, [1.0, 0.0, 0.0]); // behind: rejected
+        assert_eq!(fb.pixel(0, 0) & 0x00ff_ffff, 0x0000_ff00);
+        fb.put(0, 0, 0.1, [0.0, 0.0, 1.0]); // in front: accepted
+        assert_eq!(fb.pixel(0, 0) & 0x00ff_ffff, 0x00ff_0000);
+    }
+
+    #[test]
+    fn out_of_bounds_put_is_ignored() {
+        let mut fb = Framebuffer::new(2, 2);
+        fb.put(-1, 0, 0.0, [1.0; 3]);
+        fb.put(0, 5, 0.0, [1.0; 3]);
+        assert_eq!(fb.coverage([0.0; 3]), 0.0);
+    }
+
+    #[test]
+    fn checksum_changes_with_content() {
+        let mut a = Framebuffer::new(8, 8);
+        let b = Framebuffer::new(8, 8);
+        assert_eq!(a.checksum(), b.checksum());
+        a.put(3, 3, 0.1, [1.0, 1.0, 0.0]);
+        assert_ne!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn bytes_length_matches() {
+        let fb = Framebuffer::new(3, 5);
+        assert_eq!(fb.bytes().len(), 3 * 5 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty framebuffer")]
+    fn zero_size_panics() {
+        let _ = Framebuffer::new(0, 4);
+    }
+}

@@ -1,0 +1,333 @@
+//! Triangle rasterisation with z-buffering and directional lighting.
+
+use crate::{
+    framebuffer::Framebuffer,
+    math::{Mat4, Vec3},
+    mesh::Mesh,
+};
+
+/// A transformed, lit, screen-space vertex ready for the fill loop.
+#[derive(Clone, Copy, Debug)]
+struct ScreenVertex {
+    x: f32,
+    y: f32,
+    /// Normalised device depth in `[-1, 1]`.
+    z: f32,
+    rgb: [f32; 3],
+}
+
+/// The rasteriser: owns light configuration and draw statistics.
+///
+/// # Examples
+///
+/// ```
+/// use odr_raster::{Framebuffer, Mat4, Mesh, Rasterizer, Vec3};
+///
+/// let mut fb = Framebuffer::new(64, 64);
+/// let mut raster = Rasterizer::new();
+/// let mvp = Mat4::perspective(1.0, 1.0, 0.1, 10.0)
+///     * Mat4::look_at(Vec3::new(0.0, 0.0, 2.0), Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0));
+/// raster.draw(&mut fb, &Mesh::cube([1.0, 0.2, 0.2]), &Mat4::identity(), &mvp);
+/// assert!(fb.coverage([0.0, 0.0, 0.0]) > 0.05);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rasterizer {
+    /// Direction *towards* the light (unit length).
+    pub light_dir: Vec3,
+    /// Ambient lighting floor in `[0, 1]`.
+    pub ambient: f32,
+    triangles_drawn: u64,
+    triangles_culled: u64,
+    pixels_filled: u64,
+}
+
+impl Default for Rasterizer {
+    fn default() -> Self {
+        Rasterizer::new()
+    }
+}
+
+impl Rasterizer {
+    /// Creates a rasteriser with a default key light.
+    #[must_use]
+    pub fn new() -> Self {
+        Rasterizer {
+            light_dir: Vec3::new(0.4, 0.8, 0.45).normalized(),
+            ambient: 0.25,
+            triangles_drawn: 0,
+            triangles_culled: 0,
+            pixels_filled: 0,
+        }
+    }
+
+    /// Triangles actually filled so far.
+    #[must_use]
+    pub fn triangles_drawn(&self) -> u64 {
+        self.triangles_drawn
+    }
+
+    /// Triangles rejected by back-face or near-plane culling so far.
+    #[must_use]
+    pub fn triangles_culled(&self) -> u64 {
+        self.triangles_culled
+    }
+
+    /// Depth-tested pixels written so far.
+    #[must_use]
+    pub fn pixels_filled(&self) -> u64 {
+        self.pixels_filled
+    }
+
+    /// Draws `mesh` with the given model matrix and combined
+    /// model-view-projection matrix.
+    pub fn draw(&mut self, fb: &mut Framebuffer, mesh: &Mesh, model: &Mat4, mvp: &Mat4) {
+        let (w, h) = (fb.width() as f32, fb.height() as f32);
+        for tri in mesh.indices.chunks_exact(3) {
+            let verts = [
+                mesh.vertices[tri[0] as usize],
+                mesh.vertices[tri[1] as usize],
+                mesh.vertices[tri[2] as usize],
+            ];
+
+            let mut screen = [ScreenVertex {
+                x: 0.0,
+                y: 0.0,
+                z: 0.0,
+                rgb: [0.0; 3],
+            }; 3];
+            let mut clipped = false;
+            for (dst, v) in screen.iter_mut().zip(verts.iter()) {
+                let clip = mvp.transform_point(v.position);
+                if clip.w <= 1e-6 {
+                    // Behind the near plane; drop the whole triangle (the
+                    // scenes keep geometry inside the frustum, so proper
+                    // near-plane clipping is unnecessary).
+                    clipped = true;
+                    break;
+                }
+                let inv_w = 1.0 / clip.w;
+                // Gouraud shading with the world-space normal.
+                let n = model.transform_dir(v.normal).normalized();
+                let diffuse = n.dot(self.light_dir).max(0.0);
+                let shade = self.ambient + (1.0 - self.ambient) * diffuse;
+                *dst = ScreenVertex {
+                    x: (clip.x * inv_w + 1.0) * 0.5 * w,
+                    y: (1.0 - clip.y * inv_w) * 0.5 * h,
+                    z: clip.z * inv_w,
+                    rgb: [v.color[0] * shade, v.color[1] * shade, v.color[2] * shade],
+                };
+            }
+            if clipped {
+                self.triangles_culled += 1;
+                continue;
+            }
+
+            // Back-face culling (counter-clockwise is front-facing in
+            // screen space, where y grows downward).
+            let area = edge(&screen[0], &screen[1], &screen[2]);
+            if area >= -1e-6 {
+                self.triangles_culled += 1;
+                continue;
+            }
+            self.fill(fb, &screen, area);
+            self.triangles_drawn += 1;
+        }
+    }
+
+    fn fill(&mut self, fb: &mut Framebuffer, v: &[ScreenVertex; 3], area: f32) {
+        let min_x = v
+            .iter()
+            .map(|p| p.x)
+            .fold(f32::INFINITY, f32::min)
+            .floor()
+            .max(0.0) as i32;
+        let max_x = v
+            .iter()
+            .map(|p| p.x)
+            .fold(f32::NEG_INFINITY, f32::max)
+            .ceil()
+            .min(fb.width() as f32 - 1.0) as i32;
+        let min_y = v
+            .iter()
+            .map(|p| p.y)
+            .fold(f32::INFINITY, f32::min)
+            .floor()
+            .max(0.0) as i32;
+        let max_y = v
+            .iter()
+            .map(|p| p.y)
+            .fold(f32::NEG_INFINITY, f32::max)
+            .ceil()
+            .min(fb.height() as f32 - 1.0) as i32;
+
+        let inv_area = 1.0 / area;
+        for y in min_y..=max_y {
+            for x in min_x..=max_x {
+                let p = ScreenVertex {
+                    x: x as f32 + 0.5,
+                    y: y as f32 + 0.5,
+                    z: 0.0,
+                    rgb: [0.0; 3],
+                };
+                // Barycentric coordinates (signs flipped for clockwise
+                // screen-space winding).
+                let w0 = edge(&v[1], &v[2], &p) * inv_area;
+                let w1 = edge(&v[2], &v[0], &p) * inv_area;
+                let w2 = edge(&v[0], &v[1], &p) * inv_area;
+                if w0 < 0.0 || w1 < 0.0 || w2 < 0.0 {
+                    continue;
+                }
+                let z = w0 * v[0].z + w1 * v[1].z + w2 * v[2].z;
+                let rgb = [
+                    w0 * v[0].rgb[0] + w1 * v[1].rgb[0] + w2 * v[2].rgb[0],
+                    w0 * v[0].rgb[1] + w1 * v[1].rgb[1] + w2 * v[2].rgb[1],
+                    w0 * v[0].rgb[2] + w1 * v[1].rgb[2] + w2 * v[2].rgb[2],
+                ];
+                fb.put(x, y, z, rgb);
+                self.pixels_filled += 1;
+            }
+        }
+    }
+}
+
+/// Signed double area of triangle (a, b, c) in screen space.
+fn edge(a: &ScreenVertex, b: &ScreenVertex, c: &ScreenVertex) -> f32 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::Vec3;
+
+    fn front_view() -> Mat4 {
+        Mat4::perspective(1.0, 1.0, 0.1, 10.0)
+            * Mat4::look_at(
+                Vec3::new(0.0, 0.0, 2.5),
+                Vec3::ZERO,
+                Vec3::new(0.0, 1.0, 0.0),
+            )
+    }
+
+    #[test]
+    fn cube_covers_center_of_screen() {
+        let mut fb = Framebuffer::new(64, 64);
+        let mut r = Rasterizer::new();
+        r.draw(
+            &mut fb,
+            &Mesh::cube([1.0, 0.0, 0.0]),
+            &Mat4::identity(),
+            &front_view(),
+        );
+        // The centre pixel must be covered and reddish.
+        let px = fb.pixel(32, 32);
+        assert_ne!(px, 0xff00_0000, "centre uncovered");
+        assert!(px & 0xff > (px >> 8) & 0xff, "not red-dominant: {px:08x}");
+        assert!(r.triangles_drawn() > 0);
+        assert!(r.triangles_culled() > 0, "back faces must be culled");
+    }
+
+    #[test]
+    fn culling_halves_cube_triangles() {
+        let mut fb = Framebuffer::new(32, 32);
+        let mut r = Rasterizer::new();
+        r.draw(
+            &mut fb,
+            &Mesh::cube([1.0; 3]),
+            &Mat4::identity(),
+            &front_view(),
+        );
+        // A cube seen head-on shows at most 3 faces = 6 triangles.
+        assert!(r.triangles_drawn() <= 6);
+        assert_eq!(r.triangles_drawn() + r.triangles_culled(), 12);
+    }
+
+    #[test]
+    fn nearer_object_occludes_farther() {
+        let mut fb = Framebuffer::new(64, 64);
+        let mut r = Rasterizer::new();
+        let view = front_view();
+        // Red cube behind, green cube in front.
+        let back = Mat4::translation(Vec3::new(0.0, 0.0, -1.0));
+        r.draw(&mut fb, &Mesh::cube([1.0, 0.0, 0.0]), &back, &(view * back));
+        let front = Mat4::translation(Vec3::new(0.0, 0.0, 0.5));
+        r.draw(
+            &mut fb,
+            &Mesh::cube([0.0, 1.0, 0.0]),
+            &front,
+            &(view * front),
+        );
+        let px = fb.pixel(32, 32);
+        let (red, green) = (px & 0xff, (px >> 8) & 0xff);
+        assert!(green > red, "front cube must win: {px:08x}");
+    }
+
+    #[test]
+    fn draw_order_does_not_matter_for_depth() {
+        let view = front_view();
+        let back = Mat4::translation(Vec3::new(0.0, 0.0, -1.0));
+        let front = Mat4::translation(Vec3::new(0.0, 0.0, 0.5));
+        let red = Mesh::cube([1.0, 0.0, 0.0]);
+        let green = Mesh::cube([0.0, 1.0, 0.0]);
+
+        let mut fb1 = Framebuffer::new(48, 48);
+        let mut r1 = Rasterizer::new();
+        r1.draw(&mut fb1, &red, &back, &(view * back));
+        r1.draw(&mut fb1, &green, &front, &(view * front));
+
+        let mut fb2 = Framebuffer::new(48, 48);
+        let mut r2 = Rasterizer::new();
+        r2.draw(&mut fb2, &green, &front, &(view * front));
+        r2.draw(&mut fb2, &red, &back, &(view * back));
+
+        assert_eq!(fb1.checksum(), fb2.checksum());
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let mut checksums = Vec::new();
+        for _ in 0..2 {
+            let mut fb = Framebuffer::new(64, 64);
+            let mut r = Rasterizer::new();
+            let view = front_view();
+            r.draw(
+                &mut fb,
+                &Mesh::sphere(12, 16, [0.2, 0.4, 1.0]),
+                &Mat4::identity(),
+                &view,
+            );
+            checksums.push(fb.checksum());
+        }
+        assert_eq!(checksums[0], checksums[1]);
+    }
+
+    #[test]
+    fn behind_camera_geometry_is_dropped() {
+        let mut fb = Framebuffer::new(32, 32);
+        let mut r = Rasterizer::new();
+        let view = front_view();
+        let model = Mat4::translation(Vec3::new(0.0, 0.0, 10.0)); // behind the eye
+        r.draw(&mut fb, &Mesh::cube([1.0; 3]), &model, &(view * model));
+        assert_eq!(r.triangles_drawn(), 0);
+        assert_eq!(fb.coverage([0.0; 3]), 0.0);
+    }
+
+    #[test]
+    fn lighting_darkens_unlit_faces() {
+        let mut fb = Framebuffer::new(64, 64);
+        let mut r = Rasterizer::new();
+        r.ambient = 0.1;
+        r.light_dir = Vec3::new(1.0, 0.0, 0.0); // light from +X only
+        let view = front_view();
+        r.draw(
+            &mut fb,
+            &Mesh::cube([1.0, 1.0, 1.0]),
+            &Mat4::identity(),
+            &view,
+        );
+        // The front face (+Z normal) receives no diffuse light: near
+        // ambient only.
+        let px = fb.pixel(32, 32) & 0xff;
+        assert!(px < 60, "front face too bright: {px}");
+    }
+}

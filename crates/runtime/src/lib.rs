@@ -1,0 +1,20 @@
+//! Real-time, multi-threaded cloud 3D pipeline.
+//!
+//! Where `odr-pipeline` *simulates* the paper's system in virtual time,
+//! this crate *runs* it: four real threads — 3D application (the
+//! `odr-raster` software renderer), server proxy (the `odr-codec` video
+//! encoder plus ODR's Algorithm 1 regulator), network (a delay/bandwidth
+//! stage), and client (decoder + QoS measurement) — connected by the same
+//! [`odr_core::SyncQueue`] multi-buffers the paper places between the
+//! application, proxy, and network.
+//!
+//! It exists to demonstrate that the ODR mechanisms work against real
+//! concurrency (blocking swaps, priority flushes, wall-clock pacing), and
+//! it powers the runnable examples. Wall-clock numbers depend on the host;
+//! the reproduction numbers come from the simulator.
+
+pub mod report;
+pub mod system;
+
+pub use report::RuntimeReport;
+pub use system::{Regulation, RuntimeConfig, System};

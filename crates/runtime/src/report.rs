@@ -1,0 +1,75 @@
+//! Results of a real-time run.
+
+use odr_metrics::Summary;
+
+/// Wall-clock measurements from one [`crate::System::run`].
+#[derive(Clone, Debug)]
+pub struct RuntimeReport {
+    /// Wall-clock seconds the pipeline ran.
+    pub elapsed_secs: f64,
+    /// Frames rendered by the application thread.
+    pub frames_rendered: u64,
+    /// Frames encoded by the proxy thread.
+    pub frames_encoded: u64,
+    /// Frames decoded and displayed by the client thread.
+    pub frames_displayed: u64,
+    /// Frames discarded in the multi-buffers (excessive rendering).
+    pub frames_dropped: u64,
+    /// Priority frames produced in response to inputs.
+    pub priority_frames: u64,
+    /// Inputs injected.
+    pub inputs: u64,
+    /// Motion-to-photon latency samples in milliseconds.
+    pub mtp_ms: Summary,
+    /// Inter-display intervals in milliseconds (frame pacing at the
+    /// client).
+    pub display_intervals_ms: Summary,
+    /// Encoded bytes shipped to the client.
+    pub bytes_sent: u64,
+    /// Mean decode PSNR in dB versus the rendered frame
+    /// (`f64::INFINITY` when the codec ran lossless).
+    pub mean_psnr_db: f64,
+}
+
+impl RuntimeReport {
+    /// Cloud rendering rate in frames per second.
+    #[must_use]
+    pub fn render_fps(&self) -> f64 {
+        self.frames_rendered as f64 / self.elapsed_secs.max(1e-9)
+    }
+
+    /// Client display rate in frames per second.
+    #[must_use]
+    pub fn client_fps(&self) -> f64 {
+        self.frames_displayed as f64 / self.elapsed_secs.max(1e-9)
+    }
+
+    /// The FPS gap: rendering rate minus client rate, clamped at zero.
+    #[must_use]
+    pub fn fps_gap(&self) -> f64 {
+        (self.render_fps() - self.client_fps()).max(0.0)
+    }
+
+    /// Mean motion-to-photon latency in milliseconds.
+    #[must_use]
+    pub fn mtp_mean_ms(&self) -> f64 {
+        self.mtp_ms.mean()
+    }
+
+    /// Frame-pacing coefficient of variation at the client (0 = perfectly
+    /// regular delivery).
+    #[must_use]
+    pub fn pacing_cv(&self) -> f64 {
+        let mean = self.display_intervals_ms.mean();
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        self.display_intervals_ms.std_dev() / mean
+    }
+
+    /// Average video bitrate in megabits per second.
+    #[must_use]
+    pub fn bitrate_mbps(&self) -> f64 {
+        self.bytes_sent as f64 * 8.0 / self.elapsed_secs.max(1e-9) / 1e6
+    }
+}

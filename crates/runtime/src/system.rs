@@ -1,0 +1,478 @@
+//! The threaded pipeline.
+
+use std::{
+    sync::{
+        atomic::{AtomicBool, AtomicU64, Ordering},
+        Arc,
+    },
+    thread,
+    time::{Duration, Instant},
+};
+
+use crossbeam::channel;
+use odr_core::{FpsRegulator, PriorityGate, SyncQueue};
+use odr_metrics::Summary;
+use odr_raster::{Framebuffer, Rasterizer, Scene};
+use parking_lot::Mutex;
+
+use crate::report::RuntimeReport;
+
+/// Which regulation the runtime applies.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Regulation {
+    /// No regulation: the app renders flat out, excessive frames are
+    /// overwritten in the app→proxy buffer.
+    NoReg,
+    /// Interval pacing in the application loop.
+    Interval {
+        /// Target frames per second.
+        fps: f64,
+    },
+    /// OnDemand Rendering: blocking multi-buffers, the Algorithm 1
+    /// regulator in the proxy, and PriorityFrame.
+    Odr {
+        /// FPS target; `None` = ODRMax (multi-buffer pacing only).
+        target_fps: Option<f64>,
+    },
+}
+
+/// Configuration for one run.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Regulation under test.
+    pub regulation: Regulation,
+    /// One-way network latency applied to each frame.
+    pub net_latency: Duration,
+    /// Network bandwidth in bits per second.
+    pub net_bandwidth_bps: f64,
+    /// Baseline scene complexity (object count).
+    pub base_objects: u32,
+    /// Complexity swing (see [`odr_raster::Scene`]).
+    pub object_swing: u32,
+    /// Codec quantisation (bits dropped per channel).
+    pub quant_bits: u8,
+    /// Mean user inputs per second (0 disables input injection).
+    pub input_rate_hz: f64,
+    /// Seed for the input process.
+    pub seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            width: 320,
+            height: 180,
+            duration: Duration::from_secs(3),
+            regulation: Regulation::Odr {
+                target_fps: Some(60.0),
+            },
+            net_latency: Duration::from_millis(2),
+            net_bandwidth_bps: 100e6,
+            base_objects: 12,
+            object_swing: 14,
+            quant_bits: 2,
+            input_rate_hz: 3.6,
+            seed: 7,
+        }
+    }
+}
+
+/// A rendered frame travelling between the threads.
+struct RawFrame {
+    seq: u64,
+    /// Creation instant of the oldest input this frame answers.
+    input_tag: Option<Instant>,
+    rgba: Vec<u8>,
+}
+
+/// An encoded frame on its way to the client.
+struct WireFrame {
+    input_tag: Option<Instant>,
+    data: Vec<u8>,
+    /// The quantised source, kept for PSNR accounting in the client.
+    source: Vec<u8>,
+}
+
+/// The assembled pipeline. Construct with a config, then [`System::run`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use odr_runtime::{Regulation, RuntimeConfig, System};
+///
+/// let report = System::new(RuntimeConfig {
+///     regulation: Regulation::Odr { target_fps: Some(30.0) },
+///     ..RuntimeConfig::default()
+/// })
+/// .run();
+/// println!("client fps: {:.1}", report.client_fps());
+/// ```
+pub struct System {
+    config: RuntimeConfig,
+}
+
+impl System {
+    /// Creates a system with the given configuration.
+    #[must_use]
+    pub fn new(config: RuntimeConfig) -> Self {
+        System { config }
+    }
+
+    /// Runs the pipeline for the configured duration and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pipeline thread panics.
+    #[must_use]
+    pub fn run(self) -> RuntimeReport {
+        let cfg = self.config;
+        let stop = Arc::new(AtomicBool::new(false));
+        let start = Instant::now();
+
+        let odr = matches!(cfg.regulation, Regulation::Odr { .. });
+        let buf1: Arc<SyncQueue<RawFrame>> = if odr {
+            Arc::new(SyncQueue::new_blocking(1))
+        } else {
+            Arc::new(SyncQueue::new_overwriting(1))
+        };
+        let buf2: Arc<SyncQueue<WireFrame>> = Arc::new(SyncQueue::new_blocking(1));
+        let (to_client, from_net) = channel::unbounded::<(WireFrame, Instant)>();
+        let (input_tx, input_rx) = channel::unbounded::<Instant>();
+
+        let rendered = Arc::new(AtomicU64::new(0));
+        let encoded_n = Arc::new(AtomicU64::new(0));
+        let displayed = Arc::new(AtomicU64::new(0));
+        let priority_n = Arc::new(AtomicU64::new(0));
+        let inputs_n = Arc::new(AtomicU64::new(0));
+        let bytes_n = Arc::new(AtomicU64::new(0));
+        let mtp = Arc::new(Mutex::new(Summary::new()));
+        let intervals = Arc::new(Mutex::new(Summary::new()));
+        let psnr_sum = Arc::new(Mutex::new((0.0f64, 0u64)));
+
+        // --- Application / render thread -------------------------------
+        let app = {
+            let buf1 = Arc::clone(&buf1);
+            let stop = Arc::clone(&stop);
+            let rendered = Arc::clone(&rendered);
+            let priority_n = Arc::clone(&priority_n);
+            thread::spawn(move || {
+                let mut scene = Scene::new(cfg.base_objects, cfg.object_swing);
+                let mut raster = Rasterizer::new();
+                let mut fb = Framebuffer::new(cfg.width, cfg.height);
+                let mut gate = PriorityGate::new();
+                let mut seq = 0u64;
+                let mut input_id = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Interval pacing happens here, in the app main loop.
+                    if let Regulation::Interval { fps } = cfg.regulation {
+                        let interval = Duration::from_secs_f64(1.0 / fps);
+                        let elapsed = start.elapsed();
+                        let next = interval
+                            * u32::try_from(elapsed.as_nanos() / interval.as_nanos() + 1)
+                                .unwrap_or(u32::MAX);
+                        thread::sleep(next.saturating_sub(elapsed));
+                    }
+
+                    // Apply pending inputs; the oldest tag rides the frame.
+                    let mut oldest: Option<Instant> = None;
+                    while let Ok(created) = input_rx.try_recv() {
+                        scene.apply_input(0.12);
+                        input_id += 1;
+                        gate.input_arrived(input_id, odr_simtime::SimTime::ZERO);
+                        oldest = Some(oldest.map_or(created, |o: Instant| o.min(created)));
+                    }
+                    let is_priority = odr && gate.begin_frame().is_some();
+
+                    let t = start.elapsed().as_secs_f32();
+                    scene.render(&mut raster, &mut fb, t);
+                    let frame = RawFrame {
+                        seq,
+                        input_tag: oldest,
+                        rgba: fb.bytes(),
+                    };
+                    seq += 1;
+                    rendered.fetch_add(1, Ordering::Relaxed);
+
+                    let alive = if is_priority {
+                        priority_n.fetch_add(1, Ordering::Relaxed);
+                        buf1.publish_priority(frame).is_some()
+                    } else {
+                        buf1.publish_blocking(frame)
+                    };
+                    if !alive {
+                        break;
+                    }
+                }
+            })
+        };
+
+        // --- Proxy thread: encode + Algorithm 1 ------------------------
+        let proxy = {
+            let buf1 = Arc::clone(&buf1);
+            let buf2 = Arc::clone(&buf2);
+            let encoded_n = Arc::clone(&encoded_n);
+            thread::spawn(move || {
+                let mut encoder = odr_codec::Encoder::new(cfg.width, cfg.height, cfg.quant_bits);
+                let mut regulator = match cfg.regulation {
+                    Regulation::Odr {
+                        target_fps: Some(fps),
+                    } => FpsRegulator::new(fps).with_max_debt(30.0),
+                    _ => FpsRegulator::unlimited(),
+                };
+                while let Some(raw) = buf1.pop_blocking() {
+                    let cycle_start = Instant::now();
+                    let out = encoder.encode(&raw.rgba);
+                    encoded_n.fetch_add(1, Ordering::Relaxed);
+                    let mask = !0u8 << cfg.quant_bits;
+                    let source: Vec<u8> = raw.rgba.iter().map(|&b| b & mask).collect();
+                    let priority = raw.input_tag.is_some();
+                    let wire = WireFrame {
+                        input_tag: raw.input_tag,
+                        data: out.data,
+                        source,
+                    };
+                    let delivered = if odr && priority {
+                        buf2.publish_priority(wire).is_some()
+                    } else {
+                        buf2.publish_blocking(wire)
+                    };
+                    if !delivered {
+                        break;
+                    }
+                    // Algorithm 1: delay or accelerate. A priority frame's
+                    // pending sleep is skipped (latency first), with the
+                    // balance preserved.
+                    let sleep = regulator.on_frame_processed(cycle_start.elapsed());
+                    if sleep > Duration::ZERO {
+                        if priority {
+                            regulator.cancel_pending_sleep(sleep);
+                        } else {
+                            thread::sleep(sleep);
+                        }
+                    }
+                    let _ = raw.seq;
+                }
+                buf2.close();
+            })
+        };
+
+        // --- Network thread: latency + serialisation delay -------------
+        let net = {
+            let buf2 = Arc::clone(&buf2);
+            let bytes_n = Arc::clone(&bytes_n);
+            thread::spawn(move || {
+                while let Some(frame) = buf2.pop_blocking() {
+                    let tx = Duration::from_secs_f64(
+                        frame.data.len() as f64 * 8.0 / cfg.net_bandwidth_bps,
+                    );
+                    thread::sleep(tx);
+                    bytes_n.fetch_add(frame.data.len() as u64, Ordering::Relaxed);
+                    let arrival = Instant::now() + cfg.net_latency;
+                    if to_client.send((frame, arrival)).is_err() {
+                        break;
+                    }
+                }
+            })
+        };
+
+        // --- Client thread: decode + measure ---------------------------
+        let client = {
+            let displayed = Arc::clone(&displayed);
+            let mtp = Arc::clone(&mtp);
+            let intervals = Arc::clone(&intervals);
+            let psnr_sum = Arc::clone(&psnr_sum);
+            thread::spawn(move || {
+                let mut decoder = odr_codec::Decoder::new(cfg.width, cfg.height);
+                let mut last_display: Option<Instant> = None;
+                while let Ok((frame, arrival)) = from_net.recv() {
+                    let now = Instant::now();
+                    if arrival > now {
+                        thread::sleep(arrival - now);
+                    }
+                    match decoder.decode(&frame.data) {
+                        Ok(rgba) => {
+                            displayed.fetch_add(1, Ordering::Relaxed);
+                            let shown = Instant::now();
+                            if let Some(last) = last_display {
+                                intervals.lock().record((shown - last).as_secs_f64() * 1e3);
+                            }
+                            last_display = Some(shown);
+                            if let Some(created) = frame.input_tag {
+                                mtp.lock().record(created.elapsed().as_secs_f64() * 1e3);
+                            }
+                            let p = odr_codec::psnr(&frame.source, &rgba);
+                            if p.is_finite() {
+                                let mut guard = psnr_sum.lock();
+                                guard.0 += p;
+                                guard.1 += 1;
+                            }
+                        }
+                        Err(err) => panic!("client decode failed: {err}"),
+                    }
+                }
+            })
+        };
+
+        // --- Input injection (Poisson) ----------------------------------
+        let mut rng = odr_simtime::Rng::new(cfg.seed);
+        let deadline = start + cfg.duration;
+        if cfg.input_rate_hz > 0.0 {
+            let mut next = start + Duration::from_secs_f64(rng.exponential(cfg.input_rate_hz));
+            while Instant::now() < deadline {
+                let now = Instant::now();
+                if now >= next {
+                    inputs_n.fetch_add(1, Ordering::Relaxed);
+                    let _ = input_tx.send(now);
+                    next = now + Duration::from_secs_f64(rng.exponential(cfg.input_rate_hz));
+                } else {
+                    thread::sleep((next - now).min(Duration::from_millis(5)));
+                }
+            }
+        } else {
+            thread::sleep(cfg.duration);
+        }
+
+        // --- Shutdown ----------------------------------------------------
+        stop.store(true, Ordering::Relaxed);
+        buf1.close();
+        app.join().expect("app thread");
+        proxy.join().expect("proxy thread");
+        net.join().expect("network thread");
+        drop(input_tx);
+        // `to_client` was moved into the network thread and dropped with
+        // it, so the client drains and exits.
+        client.join().expect("client thread");
+
+        let elapsed = start.elapsed().as_secs_f64();
+        let (psnr_total, psnr_count) = *psnr_sum.lock();
+        RuntimeReport {
+            elapsed_secs: elapsed,
+            frames_rendered: rendered.load(Ordering::Relaxed),
+            frames_encoded: encoded_n.load(Ordering::Relaxed),
+            frames_displayed: displayed.load(Ordering::Relaxed),
+            frames_dropped: buf1.drops() + buf2.drops(),
+            priority_frames: priority_n.load(Ordering::Relaxed),
+            inputs: inputs_n.load(Ordering::Relaxed),
+            mtp_ms: Arc::try_unwrap(mtp)
+                .map(Mutex::into_inner)
+                .unwrap_or_default(),
+            display_intervals_ms: Arc::try_unwrap(intervals)
+                .map(Mutex::into_inner)
+                .unwrap_or_default(),
+            bytes_sent: bytes_n.load(Ordering::Relaxed),
+            mean_psnr_db: if psnr_count == 0 {
+                f64::INFINITY
+            } else {
+                psnr_total / psnr_count as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(regulation: Regulation) -> RuntimeConfig {
+        RuntimeConfig {
+            width: 160,
+            height: 96,
+            duration: Duration::from_millis(1200),
+            regulation,
+            base_objects: 4,
+            object_swing: 4,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn noreg_overrenders_and_drops() {
+        // Constrain the network so the proxy is reliably the slower stage:
+        // under NoReg the renderer then overwrites frames in Mul-Buf1
+        // regardless of host speed.
+        let mut cfg = small(Regulation::NoReg);
+        cfg.net_bandwidth_bps = 8e6;
+        let r = System::new(cfg).run();
+        assert!(r.frames_rendered > r.frames_displayed, "{r:?}");
+        assert!(r.frames_dropped > 0, "no drops under NoReg: {r:?}");
+        assert!(r.frames_displayed > 10);
+    }
+
+    #[test]
+    fn odrmax_render_tracks_display() {
+        let r = System::new(small(Regulation::Odr { target_fps: None })).run();
+        // Multi-buffering: rendering outpaces display only by the frames
+        // in flight plus priority flushes.
+        let inflight = 4 + r.priority_frames;
+        assert!(
+            r.frames_rendered <= r.frames_displayed + inflight,
+            "rendered {} vs displayed {} (+{inflight})",
+            r.frames_rendered,
+            r.frames_displayed
+        );
+        assert!(r.frames_displayed > 10);
+    }
+
+    #[test]
+    fn odr_target_paces_to_target() {
+        let mut cfg = small(Regulation::Odr {
+            target_fps: Some(20.0),
+        });
+        cfg.input_rate_hz = 0.0;
+        cfg.duration = Duration::from_millis(1500);
+        let r = System::new(cfg).run();
+        let fps = r.client_fps();
+        assert!((15.0..=24.0).contains(&fps), "client fps {fps}");
+    }
+
+    #[test]
+    fn interval_regulation_paces_the_app_loop() {
+        let mut cfg = small(Regulation::Interval { fps: 20.0 });
+        cfg.input_rate_hz = 0.0;
+        cfg.duration = Duration::from_millis(1500);
+        let r = System::new(cfg).run();
+        let fps = r.render_fps();
+        assert!((14.0..=24.0).contains(&fps), "render fps {fps}");
+    }
+
+    #[test]
+    fn inputs_are_answered_with_latency_samples() {
+        let mut cfg = small(Regulation::Odr {
+            target_fps: Some(30.0),
+        });
+        cfg.input_rate_hz = 8.0;
+        let r = System::new(cfg).run();
+        assert!(r.inputs > 0);
+        assert!(r.mtp_ms.count() > 0, "no MtP samples: {r:?}");
+        assert!(r.mtp_mean_ms() < 1000.0);
+    }
+
+    #[test]
+    fn paced_run_reports_pacing_statistics() {
+        let mut cfg = small(Regulation::Odr {
+            target_fps: Some(30.0),
+        });
+        cfg.input_rate_hz = 0.0;
+        let r = System::new(cfg).run();
+        assert!(r.display_intervals_ms.count() > 10);
+        let mean = r.display_intervals_ms.mean();
+        assert!((20.0..=50.0).contains(&mean), "mean interval {mean} ms");
+        assert!(r.pacing_cv() < 1.5, "cv {}", r.pacing_cv());
+    }
+
+    #[test]
+    fn video_stream_decodes_with_quality() {
+        let mut cfg = small(Regulation::Odr { target_fps: None });
+        cfg.quant_bits = 0;
+        cfg.input_rate_hz = 0.0;
+        let r = System::new(cfg).run();
+        assert_eq!(r.mean_psnr_db, f64::INFINITY, "lossless must be exact");
+        assert!(r.bytes_sent > 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: regulate one cloud gaming session and see what ODR buys.
+//!
+//! Simulates InMind (a VR game from the Pictor suite) at 720p on a
+//! private cloud, first unregulated and then under ODR with a 60 FPS
+//! target, and prints the quantities the paper optimises: the FPS gap,
+//! client FPS, motion-to-photon latency, and wall power.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use cloud3d_odr::prelude::*;
+
+fn main() {
+    let scenario = Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud);
+
+    println!(
+        "simulating {} for 60 s under two configurations...\n",
+        scenario.label()
+    );
+
+    let mut rows = Vec::new();
+    for spec in [
+        RegulationSpec::NoReg,
+        RegulationSpec::odr(FpsGoal::Target(60.0)),
+    ] {
+        let config = ExperimentConfig::new(scenario, spec).with_duration(Duration::from_secs(60));
+        let report = run_experiment(&config);
+        rows.push(report);
+    }
+
+    println!(
+        "{:<8} {:>11} {:>11} {:>9} {:>10} {:>9} {:>9}",
+        "config", "render fps", "client fps", "gap", "MtP (ms)", "power(W)", "drops"
+    );
+    for r in &rows {
+        let label = r.label.split_whitespace().last().expect("label");
+        println!(
+            "{:<8} {:>11.1} {:>11.1} {:>9.1} {:>10.1} {:>9.1} {:>9}",
+            label,
+            r.render_fps,
+            r.client_fps,
+            r.fps_gap_avg,
+            r.mtp_stats.mean,
+            r.memory.power_w,
+            r.frames_dropped
+        );
+    }
+
+    let (noreg, odr) = (&rows[0], &rows[1]);
+    println!(
+        "\nODR cut the FPS gap from {:.1} to {:.1} frames, power by {:.0}%, \
+         and MtP latency by {:.0}%,",
+        noreg.fps_gap_avg,
+        odr.fps_gap_avg,
+        (1.0 - odr.memory.power_w / noreg.memory.power_w) * 100.0,
+        (1.0 - odr.mtp_stats.mean / noreg.mtp_stats.mean) * 100.0,
+    );
+    println!(
+        "while holding {:.1} client FPS ({:.0}% of 200 ms windows met the 60 FPS target).",
+        odr.client_fps,
+        odr.target_satisfaction * 100.0
+    );
+}

@@ -1,0 +1,58 @@
+//! Drive the *real* multi-threaded pipeline: software renderer → video
+//! codec → network stage → client, connected by ODR's blocking
+//! multi-buffers — against wall-clock time, not simulation.
+//!
+//! Renders an animated 3D scene at 320×180, streams it through the codec
+//! with a 2 ms network, injects user inputs, and compares NoReg with
+//! ODR (30 FPS target): the unregulated run renders far more frames than
+//! the client ever sees.
+//!
+//! Run with `cargo run --release --example realtime_pipeline`.
+
+use cloud3d_odr::prelude::*;
+use std::time::Duration as StdDuration;
+
+fn main() {
+    println!("running the real-time pipeline for 4 s per configuration...\n");
+
+    let base = RuntimeConfig {
+        duration: StdDuration::from_secs(4),
+        input_rate_hz: 3.6,
+        ..RuntimeConfig::default()
+    };
+
+    let configs = [
+        ("NoReg", Regulation::NoReg),
+        ("ODRMax", Regulation::Odr { target_fps: None }),
+        (
+            "ODR30",
+            Regulation::Odr {
+                target_fps: Some(30.0),
+            },
+        ),
+    ];
+
+    println!(
+        "{:<8} {:>11} {:>11} {:>8} {:>9} {:>11} {:>9}",
+        "config", "render fps", "client fps", "drops", "MtP(ms)", "bitrate", "priority"
+    );
+    for (label, regulation) in configs {
+        let report = System::new(RuntimeConfig { regulation, ..base }).run();
+        println!(
+            "{:<8} {:>11.1} {:>11.1} {:>8} {:>9.1} {:>8.2}Mb/s {:>9}",
+            label,
+            report.render_fps(),
+            report.client_fps(),
+            report.frames_dropped,
+            report.mtp_mean_ms(),
+            report.bitrate_mbps(),
+            report.priority_frames
+        );
+    }
+
+    println!(
+        "\nNoReg renders frames the client never sees (drops > 0); ODR's blocking \
+         multi-buffers\npace rendering to the delivered rate, and priority frames answer \
+         inputs immediately."
+    );
+}

@@ -1,0 +1,60 @@
+//! Compare every FPS-regulation policy the paper evaluates, on one
+//! benchmark, side by side — the Section 4 analysis as a program.
+//!
+//! Runs NoReg, Int60, IntMax, RVS60, RVSMax, ODR60, ODRMax (plus the
+//! ODRMax-noPri ablation) on InMind at 720p / private cloud and prints the
+//! QoS-vs-efficiency trade-off each one lands on.
+//!
+//! Run with `cargo run --release --example regulation_shootout`.
+
+use cloud3d_odr::odr::OdrOptions;
+use cloud3d_odr::prelude::*;
+
+fn main() {
+    let scenario = Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud);
+    println!("{} — 90 s per configuration\n", scenario.label());
+
+    let specs = [
+        RegulationSpec::NoReg,
+        RegulationSpec::interval(60.0),
+        RegulationSpec::Interval(FpsGoal::Max),
+        RegulationSpec::rvs(FpsGoal::Target(60.0)),
+        RegulationSpec::rvs(FpsGoal::Max),
+        RegulationSpec::odr(FpsGoal::Target(60.0)),
+        RegulationSpec::odr(FpsGoal::Max),
+        RegulationSpec::Odr {
+            goal: FpsGoal::Max,
+            options: OdrOptions {
+                priority_frames: false,
+                ..OdrOptions::default()
+            },
+        },
+    ];
+
+    println!(
+        "{:<13} {:>10} {:>10} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "config", "render", "client", "gap avg", "gap max", "MtP(ms)", "IPC", "power"
+    );
+    for spec in specs {
+        let cfg = ExperimentConfig::new(scenario, spec).with_duration(Duration::from_secs(90));
+        let r = run_experiment(&cfg);
+        println!(
+            "{:<13} {:>10.1} {:>10.1} {:>9.1} {:>9.1} {:>9.1} {:>8.2} {:>7.0}W",
+            spec.label(),
+            r.render_fps,
+            r.client_fps,
+            r.fps_gap_avg,
+            r.fps_gap_max,
+            r.mtp_stats.mean,
+            r.memory.ipc,
+            r.memory.power_w
+        );
+    }
+
+    println!(
+        "\nReading the table the paper's way: Int and RVS close the gap but miss the \
+         target or\nthe achievable rate; only ODR holds the target (or beats NoReg's \
+         client FPS at ODRMax)\nwhile keeping the gap at a few frames and latency at \
+         or below the unregulated level."
+    );
+}

@@ -1,0 +1,62 @@
+//! # cloud3d-odr — OnDemand Rendering for cloud 3D
+//!
+//! A from-scratch Rust reproduction of *"Improving Resource and Energy
+//! Efficiency for Cloud 3D through Excessive Rendering Reduction"*
+//! (EuroSys 2024): the **ODR** FPS-regulation system — multi-buffering,
+//! the accelerate-and-delay FPS regulator (Algorithm 1), and
+//! PriorityFrame — together with every substrate needed to evaluate it:
+//!
+//! * [`pipeline`] — a deterministic discrete-event simulation of the full
+//!   cloud 3D pipeline (Figure 2 of the paper) with pluggable regulation;
+//! * [`odr`] — the regulation mechanisms themselves plus the paper's
+//!   baselines (interval pacing, IntMax, Remote VSync);
+//! * [`workload`] — calibrated models of the six Pictor benchmarks, the
+//!   private-cloud and GCE platforms, and user-input processes;
+//! * [`netsim`] / [`memsim`] — the network and DRAM-contention models
+//!   behind the paper's latency and efficiency results;
+//! * [`raster`] / [`codec`] / [`runtime`] — a software renderer, a video
+//!   codec, and a real multi-threaded pipeline that runs the same ODR
+//!   primitives against wall-clock time;
+//! * [`qoe`] — the user-study model (Figures 14–15);
+//! * [`metrics`] / [`simtime`] — measurement and deterministic-simulation
+//!   primitives.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cloud3d_odr::prelude::*;
+//!
+//! let scenario = Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud);
+//! let config = ExperimentConfig::new(scenario, RegulationSpec::odr(FpsGoal::Target(60.0)))
+//!     .with_duration(Duration::from_secs(20));
+//! let report = run_experiment(&config);
+//! assert!((report.client_fps - 60.0).abs() < 3.0);
+//! assert!(report.fps_gap_avg < 6.0);
+//! ```
+//!
+//! Regenerate the paper's tables and figures with
+//! `cargo run --release -p odr-bench --bin repro`.
+
+pub use odr_codec as codec;
+pub use odr_core as odr;
+pub use odr_memsim as memsim;
+pub use odr_metrics as metrics;
+pub use odr_netsim as netsim;
+pub use odr_pipeline as pipeline;
+pub use odr_qoe as qoe;
+pub use odr_raster as raster;
+pub use odr_runtime as runtime;
+pub use odr_simtime as simtime;
+pub use odr_workload as workload;
+
+/// The types most programs need.
+pub mod prelude {
+    pub use odr_core::{
+        FpsGoal, FpsRegulator, OdrOptions, PriorityGate, RegulationSpec, SyncQueue,
+    };
+    pub use odr_pipeline::{run_experiment, run_suite, ExperimentConfig, Report};
+    pub use odr_qoe::{Panel, QoeSample};
+    pub use odr_runtime::{Regulation, RuntimeConfig, System};
+    pub use odr_simtime::{Duration, Rng, SimTime};
+    pub use odr_workload::{Benchmark, Platform, Resolution, Scenario};
+}
