@@ -1,0 +1,16 @@
+//! `odr-check`: in-repo correctness tooling for the ODR simulator.
+//!
+//! Two halves, one entry point (`cargo run -p odr-check`):
+//!
+//! * [`lint`] — a std-only source scanner enforcing determinism,
+//!   panic-hygiene and documentation rules across the workspace (see
+//!   `DESIGN.md` §7 for the rule catalogue and `odr-check.allow` for
+//!   the suppression format);
+//! * [`model`] — a deterministic loom-style model checker that explores
+//!   bounded thread interleavings of the real
+//!   [`odr_core::SwapState`] swap protocol and asserts the paper's
+//!   multi-buffer semantics (no deadlock, no lost wakeup, no
+//!   reordering, conservation, bounded occupancy).
+
+pub mod lint;
+pub mod model;

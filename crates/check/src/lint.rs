@@ -1,0 +1,721 @@
+//! The `odr-check` lint pass: a lightweight, std-only line/token scanner
+//! that enforces repo invariants over `crates/*/src/**/*.rs` and
+//! `src/**/*.rs`.
+//!
+//! Three rule families (see DESIGN.md §7):
+//!
+//! * **Determinism** — the pure-simulation crates must stay bit-for-bit
+//!   seed-deterministic, so wall-clock reads (`Instant::now`,
+//!   `SystemTime`), real sleeping (`thread::sleep`), iteration-order
+//!   hazards (`HashMap`/`HashSet`/`RandomState`), and OS randomness are
+//!   banned there. The real-time `runtime` crate (and the dev shims and
+//!   this tool) are exempt.
+//! * **Panic hygiene** — no `.unwrap()` / `.expect(` in non-test library
+//!   code anywhere in the workspace.
+//! * **Docs** — every public item in `odr-core` carries a doc comment.
+//!
+//! Suppression is explicit and always carries a reason: either a line in
+//! the allowlist file (`odr-check.allow`, pipe-separated) or an inline
+//! `// lint: allow(<rule>) -- <reason>` trailer on the offending line.
+//! Unknown rules and unused allowlist entries are warnings (fatal under
+//! `--deny-warnings`).
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates whose sources must stay seed-deterministic.
+pub const PURE_SIM_CRATES: &[&str] = &[
+    "simtime", "core", "pipeline", "workload", "codec", "raster", "memsim", "netsim", "metrics",
+    "qoe",
+];
+
+/// Directories under `crates/` that are exempt from every rule family
+/// except panic hygiene (the bench harness drives wall-clock runs; the
+/// check tool itself is not simulation code).
+const REALTIME_CRATES: &[&str] = &["runtime", "bench", "check"];
+
+/// All rule identifiers, used to validate allow entries.
+pub const ALL_RULES: &[&str] = &[
+    "determinism/instant",
+    "determinism/systemtime",
+    "determinism/sleep",
+    "determinism/hash-iter",
+    "determinism/os-rng",
+    "panic/unwrap",
+    "panic/expect",
+    "doc/missing",
+];
+
+/// One rule breach at a specific source line.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule identifier, e.g. `panic/unwrap`.
+    pub rule: &'static str,
+    /// Path relative to the repo root.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A single allowlist entry: `rule | path-substring | line-substring |
+/// reason`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule this entry suppresses.
+    pub rule: String,
+    /// Substring the violation's path must contain.
+    pub path_contains: String,
+    /// Substring the offending source line must contain.
+    pub line_contains: String,
+    /// Why the breach is acceptable (required).
+    pub reason: String,
+    /// Set when the entry suppressed at least one violation.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// Parsed allowlist plus any problems found while parsing it.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// The entries, in file order.
+    pub entries: Vec<AllowEntry>,
+    /// Malformed lines / unknown rules (warnings).
+    pub problems: Vec<String>,
+}
+
+impl Allowlist {
+    /// Parses the pipe-separated allowlist format. Lines starting with
+    /// `#` and blank lines are ignored.
+    #[must_use]
+    pub fn parse(text: &str, origin: &str) -> Self {
+        let mut list = Allowlist::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.splitn(4, '|').map(str::trim).collect();
+            if fields.len() != 4 || fields[3].is_empty() {
+                list.problems.push(format!(
+                    "{origin}:{}: malformed allow entry (want `rule | path | contains | reason`)",
+                    idx + 1
+                ));
+                continue;
+            }
+            if !ALL_RULES.contains(&fields[0]) {
+                list.problems.push(format!(
+                    "{origin}:{}: unknown rule '{}'",
+                    idx + 1,
+                    fields[0]
+                ));
+                continue;
+            }
+            list.entries.push(AllowEntry {
+                rule: fields[0].to_string(),
+                path_contains: fields[1].to_string(),
+                line_contains: fields[2].to_string(),
+                reason: fields[3].to_string(),
+                used: std::cell::Cell::new(false),
+            });
+        }
+        list
+    }
+
+    /// Loads the allowlist from a file; a missing file is an empty list.
+    #[must_use]
+    pub fn load(path: &Path) -> Self {
+        match fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text, &path.display().to_string()),
+            Err(_) => Allowlist::default(),
+        }
+    }
+
+    fn permits(&self, rule: &str, path: &str, raw_line: &str) -> bool {
+        for e in &self.entries {
+            if e.rule == rule
+                && path.contains(&e.path_contains)
+                && raw_line.contains(&e.line_contains)
+            {
+                e.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Entries that never matched anything — likely stale.
+    #[must_use]
+    pub fn unused(&self) -> Vec<&AllowEntry> {
+        self.entries.iter().filter(|e| !e.used.get()).collect()
+    }
+}
+
+/// Result of linting the tree.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations not covered by any allow entry.
+    pub violations: Vec<Violation>,
+    /// Non-fatal problems (allowlist issues, unused entries).
+    pub warnings: Vec<String>,
+    /// Number of files scanned.
+    pub files: usize,
+    /// Number of violations suppressed by allow entries.
+    pub suppressed: usize,
+}
+
+/// Strips comments, string literals and char literals, preserving line
+/// structure, so token scans don't fire inside docs or strings.
+/// Doc-comment *detection* uses the raw lines instead.
+struct Stripper {
+    block_depth: usize,
+}
+
+impl Stripper {
+    fn new() -> Self {
+        Stripper { block_depth: 0 }
+    }
+
+    fn strip_line(&mut self, line: &str) -> String {
+        let bytes = line.as_bytes();
+        let mut out = String::with_capacity(line.len());
+        let mut i = 0;
+        while i < bytes.len() {
+            if self.block_depth > 0 {
+                if bytes[i..].starts_with(b"*/") {
+                    self.block_depth -= 1;
+                    i += 2;
+                } else if bytes[i..].starts_with(b"/*") {
+                    self.block_depth += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            match bytes[i] {
+                b'/' if bytes[i..].starts_with(b"//") => break,
+                b'/' if bytes[i..].starts_with(b"/*") => {
+                    self.block_depth += 1;
+                    i += 2;
+                }
+                b'"' => {
+                    // Skip a (possibly escaped) string literal.
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => i += 2,
+                            b'"' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    out.push_str("\"\"");
+                }
+                b'r' if bytes[i..].starts_with(b"r\"") || bytes[i..].starts_with(b"r#") => {
+                    // Raw string: r"..." or r#"..."#; find the closing
+                    // quote with the same number of hashes.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while j < bytes.len() && bytes[j] == b'#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j] == b'"' {
+                        j += 1;
+                        let closer: Vec<u8> =
+                            std::iter::once(b'"').chain(std::iter::repeat(b'#').take(hashes)).collect();
+                        while j < bytes.len() && !bytes[j..].starts_with(&closer) {
+                            j += 1;
+                        }
+                        i = (j + closer.len()).min(bytes.len());
+                        out.push_str("\"\"");
+                    } else {
+                        out.push('r');
+                        i += 1;
+                    }
+                }
+                b'\'' => {
+                    // Char literal vs lifetime: a char literal closes
+                    // within a few bytes; a lifetime never has a closing
+                    // quote nearby.
+                    let rest = &bytes[i + 1..];
+                    let is_char = match rest.first() {
+                        Some(b'\\') => true,
+                        Some(_) => rest.get(1) == Some(&b'\''),
+                        None => false,
+                    };
+                    if is_char {
+                        let mut j = i + 1;
+                        if bytes.get(j) == Some(&b'\\') {
+                            j += 2;
+                        } else {
+                            j += 1;
+                        }
+                        while j < bytes.len() && bytes[j] != b'\'' {
+                            j += 1;
+                        }
+                        i = (j + 1).min(bytes.len());
+                        out.push_str("' '");
+                    } else {
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+                b => {
+                    out.push(b as char);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Which crate (directory name under `crates/`, or `""` for the root
+/// `src/`) a path belongs to.
+fn crate_of(rel_path: &str) -> &str {
+    let mut parts = rel_path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or(""),
+        _ => "",
+    }
+}
+
+fn inline_allow(raw_line: &str, rule: &str) -> bool {
+    // `// lint: allow(rule) -- reason` (reason required).
+    for marker in ["lint: allow(", "lint:allow("] {
+        if let Some(at) = raw_line.find(marker) {
+            let rest = &raw_line[at + marker.len()..];
+            if let Some(close) = rest.find(')') {
+                let listed = &rest[..close];
+                let reason = rest[close + 1..].trim_start_matches([' ', '-']).trim();
+                if listed.split(',').any(|r| r.trim() == rule) && !reason.is_empty() {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+struct FileScan<'a> {
+    rel_path: String,
+    raw_lines: Vec<&'a str>,
+    stripped: Vec<String>,
+    /// Per line: inside a `#[cfg(test)]` item (or a `tests/` file).
+    in_test: Vec<bool>,
+}
+
+impl<'a> FileScan<'a> {
+    fn new(rel_path: String, text: &'a str) -> Self {
+        let raw_lines: Vec<&str> = text.lines().collect();
+        let mut stripper = Stripper::new();
+        let stripped: Vec<String> = raw_lines.iter().map(|l| stripper.strip_line(l)).collect();
+
+        // Mark test regions: a `#[cfg(test)]`/`#[cfg(all(test, ...))]`
+        // attribute covers the next item's braces.
+        let mut in_test = vec![false; raw_lines.len()];
+        let mut depth: i32 = 0;
+        let mut pending_attr = false;
+        let mut test_exit_depth: Option<i32> = None;
+        for (i, s) in stripped.iter().enumerate() {
+            let trimmed = s.trim();
+            if test_exit_depth.is_none()
+                && (trimmed.starts_with("#[cfg(test)") || trimmed.starts_with("#[cfg(all(test"))
+            {
+                pending_attr = true;
+            }
+            if pending_attr || test_exit_depth.is_some() {
+                in_test[i] = true;
+            }
+            let opens = s.matches('{').count() as i32;
+            let closes = s.matches('}').count() as i32;
+            if pending_attr && opens > 0 {
+                test_exit_depth = Some(depth);
+                pending_attr = false;
+            }
+            depth += opens - closes;
+            if test_exit_depth.is_some_and(|exit| depth <= exit) {
+                test_exit_depth = None;
+            }
+        }
+
+        FileScan {
+            rel_path,
+            raw_lines,
+            stripped,
+            in_test,
+        }
+    }
+}
+
+fn push_violation(
+    report: &mut LintReport,
+    allow: &Allowlist,
+    scan: &FileScan<'_>,
+    line_idx: usize,
+    rule: &'static str,
+    message: String,
+) {
+    let raw = scan.raw_lines[line_idx];
+    if inline_allow(raw, rule) || allow.permits(rule, &scan.rel_path, raw) {
+        report.suppressed += 1;
+        return;
+    }
+    report.violations.push(Violation {
+        rule,
+        path: scan.rel_path.clone(),
+        line: line_idx + 1,
+        message,
+    });
+}
+
+fn determinism_rules(scan: &FileScan<'_>, allow: &Allowlist, report: &mut LintReport) {
+    const PATTERNS: &[(&str, &'static str, &str)] = &[
+        ("Instant::now", "determinism/instant", "wall-clock read in pure-sim code; use SimTime"),
+        ("SystemTime", "determinism/systemtime", "wall-clock read in pure-sim code; use SimTime"),
+        ("thread::sleep", "determinism/sleep", "real sleep in pure-sim code; advance SimTime instead"),
+        ("HashMap", "determinism/hash-iter", "iteration order is randomized; use BTreeMap or Vec"),
+        ("HashSet", "determinism/hash-iter", "iteration order is randomized; use BTreeSet or Vec"),
+        ("RandomState", "determinism/os-rng", "OS-seeded hasher breaks determinism"),
+        ("rand::", "determinism/os-rng", "external RNG; use odr_simtime::Rng with an explicit seed"),
+        ("getrandom", "determinism/os-rng", "OS entropy breaks seed determinism"),
+        ("from_entropy", "determinism/os-rng", "OS entropy breaks seed determinism"),
+    ];
+    for (i, s) in scan.stripped.iter().enumerate() {
+        if scan.in_test[i] {
+            continue;
+        }
+        for (pat, rule, why) in PATTERNS {
+            if s.contains(pat) {
+                push_violation(report, allow, scan, i, rule, format!("`{pat}`: {why}"));
+            }
+        }
+    }
+}
+
+fn panic_rules(scan: &FileScan<'_>, allow: &Allowlist, report: &mut LintReport) {
+    for (i, s) in scan.stripped.iter().enumerate() {
+        if scan.in_test[i] {
+            continue;
+        }
+        if s.contains(".unwrap()") {
+            push_violation(
+                report,
+                allow,
+                scan,
+                i,
+                "panic/unwrap",
+                "`.unwrap()` in library code; handle the error or allowlist with a reason".into(),
+            );
+        }
+        if s.contains(".expect(") {
+            push_violation(
+                report,
+                allow,
+                scan,
+                i,
+                "panic/expect",
+                "`.expect(...)` in library code; handle the error or allowlist with a reason"
+                    .into(),
+            );
+        }
+    }
+}
+
+const DOC_ITEM_STARTS: &[&str] = &[
+    "pub fn ", "pub struct ", "pub enum ", "pub trait ", "pub const ", "pub static ", "pub mod ",
+    "pub type ", "pub unsafe fn ", "pub async fn ",
+];
+
+fn doc_rules(scan: &FileScan<'_>, allow: &Allowlist, report: &mut LintReport) {
+    for (i, s) in scan.stripped.iter().enumerate() {
+        if scan.in_test[i] {
+            continue;
+        }
+        let trimmed = s.trim_start();
+        if !DOC_ITEM_STARTS.iter().any(|p| trimmed.starts_with(p)) {
+            continue;
+        }
+        // Walk upwards over attributes and empty lines; a doc comment or
+        // `#[doc...]` attribute must appear directly above.
+        let mut documented = false;
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let above = scan.raw_lines[j].trim_start();
+            if above.starts_with("///") || above.starts_with("#[doc") || above.starts_with("#![doc")
+            {
+                documented = true;
+                break;
+            }
+            if above.starts_with("#[") || above.starts_with("#!") {
+                continue;
+            }
+            break;
+        }
+        if !documented {
+            let item = trimmed
+                .split(['(', '{', '<', '=', ';'])
+                .next()
+                .unwrap_or(trimmed)
+                .trim();
+            push_violation(
+                report,
+                allow,
+                scan,
+                i,
+                "doc/missing",
+                format!("public item `{item}` has no doc comment"),
+            );
+        }
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Source files subject to linting: `crates/*/src/**/*.rs`, the root
+/// `src/`, and the shim crates' sources (panic hygiene still applies
+/// there). Tests, benches, examples and fixtures are out of scope.
+#[must_use]
+pub fn lintable_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        let mut dirs: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        dirs.sort();
+        for dir in dirs {
+            collect_rs_files(&dir.join("src"), &mut files);
+        }
+    }
+    collect_rs_files(&root.join("src"), &mut files);
+    if let Ok(entries) = fs::read_dir(root.join("shims")) {
+        let mut dirs: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        dirs.sort();
+        for dir in dirs {
+            collect_rs_files(&dir.join("src"), &mut files);
+        }
+    }
+    files
+}
+
+/// Runs every lint rule over the tree rooted at `root`.
+#[must_use]
+pub fn run_lints(root: &Path, allow: &Allowlist) -> LintReport {
+    let mut report = LintReport::default();
+    for problem in &allow.problems {
+        report.warnings.push(problem.clone());
+    }
+    for path in lintable_files(root) {
+        let Ok(text) = fs::read_to_string(&path) else {
+            report
+                .warnings
+                .push(format!("unreadable file: {}", path.display()));
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        report.files += 1;
+        let scan = FileScan::new(rel.clone(), &text);
+        let krate = crate_of(&rel);
+        let is_shim = rel.starts_with("shims/");
+
+        if PURE_SIM_CRATES.contains(&krate) {
+            determinism_rules(&scan, allow, &mut report);
+        } else {
+            debug_assert!(
+                is_shim || krate.is_empty() || REALTIME_CRATES.contains(&krate),
+                "unclassified crate {krate}: add it to PURE_SIM_CRATES or REALTIME_CRATES"
+            );
+        }
+        panic_rules(&scan, allow, &mut report);
+        if krate == "core" {
+            doc_rules(&scan, allow, &mut report);
+        }
+    }
+    for entry in allow.unused() {
+        report.warnings.push(format!(
+            "unused allowlist entry: {} | {} | {} ({})",
+            entry.rule, entry.path_contains, entry.line_contains, entry.reason
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan<'a>(path: &'a str, src: &'a str) -> FileScan<'a> {
+        FileScan::new(path.to_string(), src)
+    }
+
+    fn lint_src(path: &str, src: &str, allow: &Allowlist) -> LintReport {
+        let mut report = LintReport::default();
+        let s = scan(path, src);
+        let krate = crate_of(path);
+        if PURE_SIM_CRATES.contains(&krate) {
+            determinism_rules(&s, allow, &mut report);
+        }
+        panic_rules(&s, allow, &mut report);
+        if krate == "core" {
+            doc_rules(&s, allow, &mut report);
+        }
+        report
+    }
+
+    #[test]
+    fn instant_now_flagged_in_pure_sim_crate() {
+        let r = lint_src(
+            "crates/pipeline/src/sim.rs",
+            "fn t() { let x = std::time::Instant::now(); }\n",
+            &Allowlist::default(),
+        );
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "determinism/instant");
+    }
+
+    #[test]
+    fn instant_now_allowed_in_runtime_crate() {
+        let r = lint_src(
+            "crates/runtime/src/system.rs",
+            "fn t() { let x = std::time::Instant::now(); }\n",
+            &Allowlist::default(),
+        );
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn hashmap_and_sleep_flagged() {
+        let src = "use std::collections::HashMap;\nfn z() { std::thread::sleep(d); }\n";
+        let r = lint_src("crates/metrics/src/lib.rs", src, &Allowlist::default());
+        let rules: Vec<&str> = r.violations.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"determinism/hash-iter"));
+        assert!(rules.contains(&"determinism/sleep"));
+    }
+
+    #[test]
+    fn unwrap_flagged_outside_tests_only() {
+        let src = "fn lib() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { y.unwrap(); }\n\
+                   }\n";
+        let r = lint_src("crates/qoe/src/lib.rs", src, &Allowlist::default());
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_in_comments_and_strings_ignored() {
+        let src = "// call .unwrap() here\nfn f() { let s = \".unwrap()\"; }\n/// docs say .expect(\nfn g() {}\n";
+        let r = lint_src("crates/codec/src/lib.rs", src, &Allowlist::default());
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn unwrap_or_else_not_flagged() {
+        let src = "fn f() { x.unwrap_or_else(y); x.unwrap_or(3); x.unwrap_or_default(); }\n";
+        let r = lint_src("crates/codec/src/lib.rs", src, &Allowlist::default());
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn undocumented_pub_item_flagged_in_core_only() {
+        let src = "pub fn naked() {}\n";
+        let r = lint_src("crates/core/src/queue.rs", src, &Allowlist::default());
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "doc/missing");
+        let r2 = lint_src("crates/raster/src/lib.rs", src, &Allowlist::default());
+        assert!(r2.violations.is_empty());
+    }
+
+    #[test]
+    fn documented_pub_item_with_attributes_passes() {
+        let src = "/// Documented.\n#[must_use]\n#[inline]\npub fn fine() -> u8 { 0 }\n";
+        let r = lint_src("crates/core/src/queue.rs", src, &Allowlist::default());
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn inline_allow_with_reason_suppresses() {
+        let src = "fn f() { x.unwrap(); } // lint: allow(panic/unwrap) -- invariant: x checked above\n";
+        let r = lint_src("crates/codec/src/lib.rs", src, &Allowlist::default());
+        assert!(r.violations.is_empty());
+        assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn inline_allow_without_reason_does_not_suppress() {
+        let src = "fn f() { x.unwrap(); } // lint: allow(panic/unwrap)\n";
+        let r = lint_src("crates/codec/src/lib.rs", src, &Allowlist::default());
+        assert_eq!(r.violations.len(), 1);
+    }
+
+    #[test]
+    fn allowlist_file_suppresses_matching_line() {
+        let allow = Allowlist::parse(
+            "panic/expect | crates/codec | .expect(\"decode\") | fixture streams are valid\n",
+            "test",
+        );
+        let src = "fn f() { y.expect(\"decode\"); }\n";
+        let r = lint_src("crates/codec/src/codec.rs", src, &allow);
+        assert!(r.violations.is_empty());
+        assert!(allow.unused().is_empty());
+    }
+
+    #[test]
+    fn allowlist_rejects_missing_reason_and_unknown_rule() {
+        let allow = Allowlist::parse(
+            "panic/unwrap | a | b |\nnot/a-rule | a | b | why\n",
+            "test",
+        );
+        assert_eq!(allow.entries.len(), 0);
+        assert_eq!(allow.problems.len(), 2);
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_stripped() {
+        let mut st = Stripper::new();
+        let s = st.strip_line(r##"let a = r#"x.unwrap()"#; let c = '"'; let l: &'static str;"##);
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("static"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let src = "/*\n x.unwrap()\n*/\nfn ok() {}\n";
+        let r = lint_src("crates/codec/src/lib.rs", src, &Allowlist::default());
+        assert!(r.violations.is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! `odr-check` CLI: runs the repo lint pass and the swap-protocol model
+//! checker. Exit status: 0 clean, 1 violations/failures found, 2 usage
+//! error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use odr_check::lint::{run_lints, Allowlist};
+use odr_check::model::{explore_dfs, explore_random, standard_suite};
+
+const USAGE: &str = "\
+odr-check: ODR repo lint pass + swap-protocol model checker
+
+USAGE: cargo run -p odr-check [--] [OPTIONS]
+
+OPTIONS:
+  --lint-only            run only the source lints
+  --model-only           run only the concurrency model checker
+  --deny-warnings        treat warnings (stale allow entries, malformed
+                         allowlist lines) as failures
+  --root PATH            repo root to scan (default: auto-detected)
+  --allowlist PATH       allowlist file (default: <root>/odr-check.allow)
+  --seed N               seed for the random exploration pass (default 1)
+  --random N             random executions per scenario on top of the
+                         exhaustive pass (default 2000)
+  --max-dfs N            execution budget per scenario for exhaustive
+                         DFS (default 2000000)
+  --min-interleavings N  fail unless the exhaustive pass explored at
+                         least N interleavings in total (default 10000)
+  --verbose              per-scenario statistics
+  --help                 this text
+";
+
+struct Options {
+    lint: bool,
+    model: bool,
+    deny_warnings: bool,
+    root: Option<PathBuf>,
+    allowlist: Option<PathBuf>,
+    seed: u64,
+    random: u64,
+    max_dfs: u64,
+    min_interleavings: u64,
+    verbose: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            lint: true,
+            model: true,
+            deny_warnings: false,
+            root: None,
+            allowlist: None,
+            seed: 1,
+            random: 2000,
+            max_dfs: 2_000_000,
+            min_interleavings: 10_000,
+            verbose: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--lint-only" => opts.model = false,
+            "--model-only" => opts.lint = false,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--root" => opts.root = Some(PathBuf::from(value("--root")?)),
+            "--allowlist" => opts.allowlist = Some(PathBuf::from(value("--allowlist")?)),
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed wants an integer".to_string())?;
+            }
+            "--random" => {
+                opts.random = value("--random")?
+                    .parse()
+                    .map_err(|_| "--random wants an integer".to_string())?;
+            }
+            "--max-dfs" => {
+                opts.max_dfs = value("--max-dfs")?
+                    .parse()
+                    .map_err(|_| "--max-dfs wants an integer".to_string())?;
+            }
+            "--min-interleavings" => {
+                opts.min_interleavings = value("--min-interleavings")?
+                    .parse()
+                    .map_err(|_| "--min-interleavings wants an integer".to_string())?;
+            }
+            "--verbose" => opts.verbose = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    if !opts.lint && !opts.model {
+        return Err("--lint-only and --model-only are mutually exclusive".to_string());
+    }
+    Ok(opts)
+}
+
+/// Finds the repo root: an ancestor of the current directory containing
+/// both `Cargo.toml` and `crates/`.
+fn detect_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run_lint_pass(opts: &Options) -> Result<bool, String> {
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => detect_root().ok_or("cannot find repo root (use --root)")?,
+    };
+    let allow_path = opts
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| root.join("odr-check.allow"));
+    let allow = Allowlist::load(&allow_path);
+    let report = run_lints(&root, &allow);
+
+    for v in &report.violations {
+        println!("error: {v}");
+    }
+    for w in &report.warnings {
+        println!("warning: {w}");
+    }
+    println!(
+        "lint: {} files, {} violation(s), {} suppressed, {} warning(s)",
+        report.files,
+        report.violations.len(),
+        report.suppressed,
+        report.warnings.len()
+    );
+    let failed =
+        !report.violations.is_empty() || (opts.deny_warnings && !report.warnings.is_empty());
+    Ok(!failed)
+}
+
+fn run_model_pass(opts: &Options) -> bool {
+    let mut ok = true;
+    let mut total: u64 = 0;
+    for scenario in standard_suite() {
+        let dfs = explore_dfs(&scenario, opts.max_dfs);
+        total += dfs.executions;
+        if opts.verbose {
+            println!(
+                "model: {:<28} dfs {:>8} interleavings, depth {:>3}, {}",
+                scenario.name,
+                dfs.executions,
+                dfs.max_depth,
+                if dfs.complete { "exhaustive" } else { "budget-capped" }
+            );
+        }
+        if let Some(f) = &dfs.failure {
+            ok = false;
+            println!(
+                "error: model: {}: {}\n  replay trace: {:?}",
+                scenario.name, f.message, f.trace
+            );
+            continue;
+        }
+        if opts.random > 0 {
+            let rnd = explore_random(&scenario, opts.random, opts.seed);
+            total += rnd.executions;
+            if let Some(f) = &rnd.failure {
+                ok = false;
+                println!(
+                    "error: model: {} (random, seed {}): {}\n  replay trace: {:?}",
+                    scenario.name, opts.seed, f.message, f.trace
+                );
+            }
+        }
+    }
+    if total < opts.min_interleavings {
+        ok = false;
+        println!(
+            "error: model: explored only {total} interleavings (< {} required)",
+            opts.min_interleavings
+        );
+    }
+    println!(
+        "model: {} scenarios, {total} interleavings, seed {}: {}",
+        standard_suite().len(),
+        opts.seed,
+        if ok { "all invariants hold" } else { "FAILURES" }
+    );
+    ok
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("odr-check: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut ok = true;
+    if opts.lint {
+        match run_lint_pass(&opts) {
+            Ok(clean) => ok &= clean,
+            Err(e) => {
+                eprintln!("odr-check: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if opts.model {
+        ok &= run_model_pass(&opts);
+    }
+    if ok {
+        println!("odr-check: OK");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

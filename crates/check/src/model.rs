@@ -1,0 +1,692 @@
+//! A deterministic, loom-style concurrency model checker for the ODR
+//! multi-buffer swap protocol.
+//!
+//! The real runtime wraps [`odr_core::SwapState`] in a
+//! `std::sync::Mutex` + two `Condvar`s ([`odr_core::SyncQueue`]). This
+//! module executes *the same* `SwapState` transitions under a virtual
+//! mutex/condvar whose scheduling is fully controlled, and explores the
+//! bounded space of thread interleavings:
+//!
+//! * every transition (lock → protocol step → unlock → notify) is one
+//!   atomic scheduler step, which is sound because the real mutex
+//!   serialises critical sections — the only observable nondeterminism
+//!   is *which* thread wins the lock next, *which* waiter a
+//!   `notify_one` wakes, and spurious wakeups, and all three are
+//!   scheduler choices here;
+//! * `Condvar::wait` atomically releases the lock and joins the wait
+//!   set, exactly like `std::sync::Condvar`;
+//! * a `notify_one` with no waiters is lost, like the real thing — so a
+//!   protocol relying on a wakeup that can fire early deadlocks in the
+//!   model just as it would on hardware;
+//! * optional spurious wakeups model `std`'s permission to wake waiters
+//!   at any time; a correct protocol must tolerate them (wait in a
+//!   loop) but must never *require* them — deadlock detection ignores
+//!   the possibility of a rescue-by-spurious-wakeup.
+//!
+//! Exploration is exhaustive DFS over the decision tree (deterministic,
+//! no time, no RNG) with an execution budget, plus a seeded
+//! pseudo-random mode for larger configurations. Every execution checks
+//! the paper's swap semantics (DESIGN.md §1): FIFO delivery with no
+//! reordering, bounded occupancy, blocking (never dropping) producers in
+//! ODR mode, replace-newest in NoReg mode, priority publishes flushing
+//! all obsolete frames, full conservation of frames, and termination of
+//! every thread.
+
+use odr_core::queue::FullPolicy;
+use odr_core::swap::{SwapState, TryPop, TryPublish};
+
+/// Deliberately broken protocol variants, used to validate that the
+/// checker actually finds the classic bugs (regression tests replay
+/// known-bad interleavings against these).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Variant {
+    /// The protocol as shipped in `odr_core::SyncQueue`.
+    #[default]
+    Correct,
+    /// The producer checks the full-buffer predicate with `if` instead
+    /// of `while`: after a wakeup it assumes space exists and treats a
+    /// refused publish as stored, silently losing the frame. The classic
+    /// condvar misuse.
+    IfInsteadOfWhile,
+    /// The consumer forgets to signal "space available" after popping, a
+    /// lost-wakeup bug: a producer blocked on a full buffer sleeps
+    /// forever.
+    MissingSpaceNotify,
+}
+
+/// A bounded protocol configuration to explore.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Display name.
+    pub name: &'static str,
+    /// Queue capacity (the paper's multi-buffer depth).
+    pub capacity: usize,
+    /// Full-buffer policy: `Block` = ODR mode, `Overwrite` = NoReg mode.
+    pub policy: FullPolicy,
+    /// Frames the producer thread publishes (seq 0..n).
+    pub producer_frames: u32,
+    /// Frames the priority thread publishes (seq 1000..1000+m); 0
+    /// disables the thread.
+    pub priority_frames: u32,
+    /// `true`: the producer closes the queue after its last frame.
+    /// `false`: a dedicated closer thread closes at an arbitrary point.
+    pub producer_closes: bool,
+    /// Spurious wakeups the scheduler may inject per execution.
+    pub spurious_budget: u32,
+    /// Protocol variant under test.
+    pub variant: Variant,
+}
+
+impl Scenario {
+    /// A small ODR-mode scenario: producer + consumer + closer.
+    #[must_use]
+    pub fn odr(name: &'static str, capacity: usize, frames: u32) -> Self {
+        Scenario {
+            name,
+            capacity,
+            policy: FullPolicy::Block,
+            producer_frames: frames,
+            priority_frames: 0,
+            producer_closes: false,
+            spurious_budget: 0,
+            variant: Variant::Correct,
+        }
+    }
+}
+
+/// Why an execution violated the protocol contract.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong.
+    pub message: String,
+    /// The decision trace that reproduces it (see [`replay`]).
+    pub trace: Vec<u32>,
+}
+
+/// Outcome of exploring one scenario.
+#[derive(Debug, Default)]
+pub struct Explored {
+    /// Complete interleavings executed.
+    pub executions: u64,
+    /// Deepest decision stack seen.
+    pub max_depth: usize,
+    /// `true` if DFS exhausted the space within budget (random mode
+    /// never sets this).
+    pub complete: bool,
+    /// First contract violation found, if any.
+    pub failure: Option<Failure>,
+}
+
+const CV_SPACE: usize = 0;
+const CV_DATA: usize = 1;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Role {
+    Producer,
+    Consumer,
+    Priority,
+    Closer,
+}
+
+struct Thread {
+    role: Role,
+    /// Next sequence number this publisher will send.
+    next_seq: u32,
+    /// Frame handed back by `MustWait`, to re-publish after wakeup.
+    parked_frame: Option<u32>,
+    /// Wait set the thread sleeps in, if any.
+    waiting_on: Option<usize>,
+    /// Woken (notified or spuriously) and not yet re-run.
+    woken: bool,
+    done: bool,
+}
+
+/// How the next decision is drawn.
+enum Chooser<'a> {
+    /// Follow/extend the DFS schedule prefix.
+    Dfs {
+        schedule: &'a mut Vec<u32>,
+        options: &'a mut Vec<u32>,
+        pos: usize,
+    },
+    /// Seeded pseudo-random draws, recording the trace.
+    Random { state: u64, trace: &'a mut Vec<u32> },
+    /// Replay a fixed trace exactly (panics politely past the end).
+    Replay { trace: &'a [u32], pos: usize },
+}
+
+impl Chooser<'_> {
+    fn choose(&mut self, n: u32) -> u32 {
+        debug_assert!(n > 0);
+        match self {
+            Chooser::Dfs {
+                schedule,
+                options,
+                pos,
+            } => {
+                if *pos == schedule.len() {
+                    schedule.push(0);
+                    options.push(n);
+                }
+                options[*pos] = n;
+                let c = schedule[*pos];
+                *pos += 1;
+                c.min(n - 1)
+            }
+            Chooser::Random { state, trace } => {
+                // splitmix64: deterministic for a given seed.
+                *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = *state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                let c = ((u128::from(z) * u128::from(n)) >> 64) as u32;
+                trace.push(c);
+                c
+            }
+            Chooser::Replay { trace, pos } => {
+                let c = trace.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                c.min(n - 1)
+            }
+        }
+    }
+}
+
+struct World {
+    state: SwapState<u32>,
+    threads: Vec<Thread>,
+    /// Wait sets, in wait order: `[CV_SPACE, CV_DATA]`.
+    waitsets: [Vec<usize>; 2],
+    /// Ghost FIFO mirror of the queue contents, for reorder detection.
+    ghost: Vec<u32>,
+    /// Frames delivered to the consumer, in order.
+    received: Vec<u32>,
+    /// Publishes accepted (ghost accounting).
+    accepted: u64,
+    /// Whether the producer ever observed `MustWait`.
+    producer_waited: bool,
+    spurious_left: u32,
+    violation: Option<String>,
+}
+
+impl World {
+    fn new(s: &Scenario) -> Self {
+        let mut threads = vec![
+            Thread::new(Role::Producer),
+            Thread::new(Role::Consumer),
+        ];
+        if s.priority_frames > 0 {
+            threads.push(Thread::new(Role::Priority));
+        }
+        if !s.producer_closes {
+            threads.push(Thread::new(Role::Closer));
+        }
+        World {
+            state: SwapState::new(s.capacity, s.policy),
+            threads,
+            waitsets: [Vec::new(), Vec::new()],
+            ghost: Vec::new(),
+            received: Vec::new(),
+            accepted: 0,
+            producer_waited: false,
+            spurious_left: s.spurious_budget,
+            violation: None,
+        }
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.violation.is_none() {
+            self.violation = Some(msg);
+        }
+    }
+
+    fn notify_one(&mut self, cv: usize, chooser: &mut Chooser<'_>) {
+        let waiters = &mut self.waitsets[cv];
+        if waiters.is_empty() {
+            return; // Lost notification, exactly like std::sync::Condvar.
+        }
+        let idx = if waiters.len() == 1 {
+            0
+        } else {
+            chooser.choose(waiters.len() as u32) as usize
+        };
+        let tid = waiters.remove(idx);
+        self.threads[tid].waiting_on = None;
+        self.threads[tid].woken = true;
+    }
+
+    fn notify_all(&mut self, cv: usize) {
+        for tid in std::mem::take(&mut self.waitsets[cv]) {
+            self.threads[tid].waiting_on = None;
+            self.threads[tid].woken = true;
+        }
+    }
+
+    fn wait(&mut self, tid: usize, cv: usize) {
+        self.threads[tid].waiting_on = Some(cv);
+        self.waitsets[cv].push(tid);
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| !self.threads[t].done && self.threads[t].waiting_on.is_none())
+            .collect()
+    }
+
+    fn close_and_wake_all(&mut self) {
+        self.state.close();
+        self.notify_all(CV_DATA);
+        self.notify_all(CV_SPACE);
+    }
+
+    /// Record an accepted publish in the ghost mirror, detecting
+    /// replace-newest (overwrite mode) via the drop counter.
+    fn ghost_accept(&mut self, seq: u32, drops_before: u64) {
+        if self.state.drops() > drops_before {
+            self.ghost.pop();
+        }
+        self.ghost.push(seq);
+        self.accepted += 1;
+    }
+
+    /// One atomic critical section of thread `tid`.
+    fn step(&mut self, tid: usize, s: &Scenario, chooser: &mut Chooser<'_>) {
+        let role = self.threads[tid].role;
+        let was_woken = std::mem::take(&mut self.threads[tid].woken);
+        match role {
+            Role::Producer => {
+                let seq = self.threads[tid]
+                    .parked_frame
+                    .take()
+                    .unwrap_or(self.threads[tid].next_seq);
+                let drops_before = self.state.drops();
+                match self.state.try_publish(seq) {
+                    TryPublish::Accepted => {
+                        self.ghost_accept(seq, drops_before);
+                        self.producer_advance(tid, s);
+                        self.notify_one(CV_DATA, chooser);
+                    }
+                    TryPublish::Closed => self.threads[tid].done = true,
+                    TryPublish::MustWait(frame) => {
+                        self.producer_waited = true;
+                        if s.policy == FullPolicy::Overwrite {
+                            self.fail("NoReg mode must never block the producer".into());
+                        }
+                        if s.variant == Variant::IfInsteadOfWhile && was_woken {
+                            // Bug under test: after a wakeup the buggy
+                            // producer assumes space exists and moves on,
+                            // silently dropping the refused frame. The
+                            // observable symptom is a frame the consumer
+                            // never receives.
+                            let _ = frame;
+                            self.producer_advance(tid, s);
+                        } else {
+                            self.threads[tid].parked_frame = Some(frame);
+                            self.wait(tid, CV_SPACE);
+                        }
+                    }
+                }
+            }
+            Role::Consumer => match self.state.try_pop() {
+                TryPop::Frame(frame) => {
+                    match self.ghost.first().copied() {
+                        Some(expect) if expect == frame => {
+                            self.ghost.remove(0);
+                        }
+                        other => self.fail(format!(
+                            "reordering: consumer got frame {frame}, ghost FIFO head is {other:?}"
+                        )),
+                    }
+                    self.received.push(frame);
+                    if s.variant != Variant::MissingSpaceNotify {
+                        self.notify_one(CV_SPACE, chooser);
+                    }
+                }
+                TryPop::Drained => self.threads[tid].done = true,
+                TryPop::MustWait => self.wait(tid, CV_DATA),
+            },
+            Role::Priority => {
+                let seq = 1000 + self.threads[tid].next_seq;
+                let pending = self.state.len();
+                match self.state.try_publish_priority(seq) {
+                    Some(flushed) => {
+                        if flushed != pending {
+                            self.fail(format!(
+                                "priority publish flushed {flushed} frames, {pending} were obsolete"
+                            ));
+                        }
+                        self.ghost.clear();
+                        self.ghost.push(seq);
+                        self.accepted += 1;
+                        self.threads[tid].next_seq += 1;
+                        if self.threads[tid].next_seq == s.priority_frames {
+                            self.threads[tid].done = true;
+                        }
+                        self.notify_one(CV_DATA, chooser);
+                        self.notify_one(CV_SPACE, chooser);
+                    }
+                    None => self.threads[tid].done = true,
+                }
+            }
+            Role::Closer => {
+                self.close_and_wake_all();
+                self.threads[tid].done = true;
+            }
+        }
+        if self.state.len() > self.state.capacity() {
+            self.fail(format!(
+                "capacity breached: {} frames in a {}-slot buffer",
+                self.state.len(),
+                self.state.capacity()
+            ));
+        }
+        if self.ghost.len() != self.state.len() {
+            self.fail(format!(
+                "ghost mirror diverged: model {} vs queue {}",
+                self.ghost.len(),
+                self.state.len()
+            ));
+        }
+    }
+
+    fn producer_advance(&mut self, tid: usize, s: &Scenario) {
+        self.threads[tid].next_seq += 1;
+        if self.threads[tid].next_seq == s.producer_frames {
+            if s.producer_closes {
+                self.close_and_wake_all();
+            }
+            self.threads[tid].done = true;
+        }
+    }
+
+    /// End-of-execution contract checks.
+    fn final_checks(&mut self, s: &Scenario) {
+        if !self.threads.iter().all(|t| t.done) {
+            // Reached only via deadlock detection; message set there.
+            return;
+        }
+        let drops = self.state.drops();
+        let received = self.received.len() as u64;
+        if received + drops != self.accepted {
+            self.fail(format!(
+                "conservation: received {received} + dropped {drops} != accepted {}",
+                self.accepted
+            ));
+        }
+        let odr_mode = s.policy == FullPolicy::Block;
+        if odr_mode && s.priority_frames == 0 && drops != 0 {
+            self.fail(format!("ODR mode dropped {drops} frames without priority publishes"));
+        }
+        if odr_mode && s.priority_frames == 0 && s.producer_closes {
+            // Producer closes only after all frames are accepted, so all
+            // must arrive, in order.
+            let want: Vec<u32> = (0..s.producer_frames).collect();
+            if self.received != want {
+                self.fail(format!(
+                    "lost or reordered frames: consumer saw {:?}, wanted {want:?}",
+                    self.received
+                ));
+            }
+        }
+        let increasing = self
+            .received
+            .windows(2)
+            .all(|w| w[0] < w[1] || (w[0] >= 1000) != (w[1] >= 1000));
+        if !increasing {
+            self.fail(format!("per-publisher order violated: {:?}", self.received));
+        }
+    }
+}
+
+impl Thread {
+    fn new(role: Role) -> Self {
+        Thread {
+            role,
+            next_seq: 0,
+            parked_frame: None,
+            waiting_on: None,
+            woken: false,
+            done: false,
+        }
+    }
+}
+
+/// Runs one complete execution under `chooser`. Returns the violation
+/// message, if any.
+fn execute(s: &Scenario, chooser: &mut Chooser<'_>) -> Option<String> {
+    let mut world = World::new(s);
+    // Generous bound: every step either makes progress or parks a
+    // thread; runaway loops indicate a model bug.
+    let step_limit = 64 + 16 * (s.producer_frames + s.priority_frames) as usize * world.threads.len();
+    for _ in 0..step_limit {
+        if world.violation.is_some() {
+            break;
+        }
+        let runnable = world.runnable();
+        if runnable.is_empty() {
+            if world.threads.iter().all(|t| t.done) {
+                break;
+            }
+            let stuck: Vec<String> = world
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.done)
+                .map(|(i, t)| format!("t{i}:{:?} waiting on cv{}", t.role, t.waiting_on.map_or(9, |c| c)))
+                .collect();
+            world.fail(format!(
+                "deadlock / lost wakeup: no runnable thread, stuck: {}",
+                stuck.join(", ")
+            ));
+            break;
+        }
+        // Scheduler choice: a runnable thread, or (budget permitting) a
+        // spurious wakeup of some condvar waiter.
+        let waiters: Vec<usize> = if world.spurious_left > 0 {
+            world
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.waiting_on.is_some())
+                .map(|(i, _)| i)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let n = runnable.len() + waiters.len();
+        let choice = if n == 1 { 0 } else { chooser.choose(n as u32) as usize };
+        if choice < runnable.len() {
+            world.step(runnable[choice], s, chooser);
+        } else {
+            let tid = waiters[choice - runnable.len()];
+            world.spurious_left -= 1;
+            let cv = world.threads[tid].waiting_on.take();
+            if let Some(cv) = cv {
+                world.waitsets[cv].retain(|&w| w != tid);
+            }
+            world.threads[tid].woken = true;
+        }
+    }
+    if world.violation.is_none() && !world.threads.iter().all(|t| t.done) {
+        world.fail("step limit exceeded: livelock in model or scenario too large".into());
+    }
+    world.final_checks(s);
+    world.violation
+}
+
+/// Exhaustive DFS over all interleavings, up to `max_executions`.
+/// Deterministic: the same scenario always explores the same tree in the
+/// same order.
+#[must_use]
+pub fn explore_dfs(s: &Scenario, max_executions: u64) -> Explored {
+    let mut result = Explored::default();
+    let mut schedule: Vec<u32> = Vec::new();
+    let mut options: Vec<u32> = Vec::new();
+    loop {
+        let violation = {
+            let mut chooser = Chooser::Dfs {
+                schedule: &mut schedule,
+                options: &mut options,
+                pos: 0,
+            };
+            execute(s, &mut chooser)
+        };
+        result.executions += 1;
+        result.max_depth = result.max_depth.max(schedule.len());
+        if let Some(message) = violation {
+            result.failure = Some(Failure {
+                message,
+                trace: schedule.clone(),
+            });
+            return result;
+        }
+        if result.executions >= max_executions {
+            return result; // budget exhausted; complete stays false
+        }
+        // Backtrack: bump the deepest choice that still has siblings.
+        let mut depth = schedule.len();
+        loop {
+            if depth == 0 {
+                result.complete = true;
+                return result;
+            }
+            depth -= 1;
+            if schedule[depth] + 1 < options[depth] {
+                schedule[depth] += 1;
+                schedule.truncate(depth + 1);
+                options.truncate(depth + 1);
+                break;
+            }
+        }
+    }
+}
+
+/// Seeded pseudo-random exploration: `n` executions, deterministic for a
+/// given `seed` (same seed → same schedule traces, same result).
+#[must_use]
+pub fn explore_random(s: &Scenario, n: u64, seed: u64) -> Explored {
+    let mut result = Explored::default();
+    for i in 0..n {
+        let mut trace = Vec::new();
+        let violation = {
+            let mut chooser = Chooser::Random {
+                state: seed ^ (i.wrapping_mul(0x2545_f491_4f6c_dd1d)),
+                trace: &mut trace,
+            };
+            execute(s, &mut chooser)
+        };
+        result.executions += 1;
+        result.max_depth = result.max_depth.max(trace.len());
+        if let Some(message) = violation {
+            result.failure = Some(Failure { message, trace });
+            return result;
+        }
+    }
+    result
+}
+
+/// Replays one decision trace (e.g. a recorded failure) through the
+/// scenario. Returns the violation it reproduces, if any.
+#[must_use]
+pub fn replay(s: &Scenario, trace: &[u32]) -> Option<Failure> {
+    let mut chooser = Chooser::Replay { trace, pos: 0 };
+    execute(s, &mut chooser).map(|message| Failure {
+        message,
+        trace: trace.to_vec(),
+    })
+}
+
+/// The standard verification suite run by `odr-check`: every scenario
+/// here must explore with zero failures.
+#[must_use]
+pub fn standard_suite() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            producer_closes: true,
+            ..Scenario::odr("odr/cap1-producer-closes", 1, 4)
+        },
+        Scenario::odr("odr/cap1-racing-closer", 1, 3),
+        Scenario::odr("odr/cap2-racing-closer", 2, 3),
+        // The acceptance workhorse: 3 threads (producer, consumer,
+        // closer), >10k interleavings, still exhaustively explorable.
+        Scenario::odr("odr/cap2-deep-3thread", 2, 6),
+        Scenario {
+            spurious_budget: 2,
+            producer_closes: true,
+            ..Scenario::odr("odr/cap1-spurious-wakeups", 1, 3)
+        },
+        Scenario {
+            priority_frames: 2,
+            producer_closes: true,
+            ..Scenario::odr("odr/cap2-priority-flush", 2, 2)
+        },
+        Scenario {
+            policy: FullPolicy::Overwrite,
+            producer_closes: true,
+            ..Scenario::odr("noreg/cap1-replace-newest", 1, 4)
+        },
+        Scenario {
+            policy: FullPolicy::Overwrite,
+            ..Scenario::odr("noreg/cap2-racing-closer", 2, 3)
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dfs_is_deterministic() {
+        let s = Scenario::odr("det", 1, 3);
+        let a = explore_dfs(&s, 100_000);
+        let b = explore_dfs(&s, 100_000);
+        assert_eq!(a.executions, b.executions);
+        assert_eq!(a.max_depth, b.max_depth);
+        assert!(a.failure.is_none());
+        assert!(a.complete);
+    }
+
+    #[test]
+    fn random_mode_is_deterministic_per_seed() {
+        let s = Scenario {
+            priority_frames: 2,
+            ..Scenario::odr("det-rand", 2, 5)
+        };
+        let a = explore_random(&s, 500, 42);
+        let b = explore_random(&s, 500, 42);
+        assert_eq!(a.executions, b.executions);
+        assert_eq!(a.max_depth, b.max_depth);
+        assert!(a.failure.is_none());
+    }
+
+    #[test]
+    fn standard_suite_is_clean() {
+        for s in standard_suite() {
+            let r = explore_dfs(&s, 300_000);
+            assert!(
+                r.failure.is_none(),
+                "{}: {:?}",
+                s.name,
+                r.failure.map(|f| f.message)
+            );
+            assert!(r.complete, "{}: budget too small ({})", s.name, r.executions);
+        }
+    }
+
+    #[test]
+    fn three_thread_protocol_explores_at_least_10k_interleavings() {
+        // Acceptance bar: >= 10k interleavings of the 3-thread swap
+        // protocol (producer, consumer, closer), fully exhaustively.
+        let s = Scenario::odr("10k", 2, 6);
+        let r = explore_dfs(&s, 1_000_000);
+        assert!(r.complete, "space larger than budget");
+        assert!(
+            r.executions >= 10_000,
+            "only {} interleavings explored",
+            r.executions
+        );
+        assert!(r.failure.is_none());
+    }
+}

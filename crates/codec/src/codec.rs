@@ -247,8 +247,8 @@ impl Decoder {
             1 => true,
             _ => return Err(DecodeError::BadHeader),
         };
-        let width = u32::from_le_bytes(data[4..8].try_into().expect("sliced"));
-        let height = u32::from_le_bytes(data[8..12].try_into().expect("sliced"));
+        let width = u32::from_le_bytes([data[4], data[5], data[6], data[7]]);
+        let height = u32::from_le_bytes([data[8], data[9], data[10], data[11]]);
         if width != self.width || height != self.height {
             return Err(DecodeError::DimensionMismatch);
         }

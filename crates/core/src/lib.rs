@@ -30,12 +30,26 @@
 //! simulator (`odr-pipeline`) and the real-thread runtime (`odr-runtime`,
 //! via [`SyncQueue`]).
 
+/// Interval-based frame pacers: the paper's fixed-interval baseline and
+/// its FPS-maximising adaptive variant.
 pub mod pacer;
+/// The PriorityFrame gate: marks input-answering frames that must bypass
+/// regulation.
 pub mod priority;
+/// The bounded multi-buffer [`queue::FrameQueue`] with the paper's
+/// block/overwrite full-buffer policies.
 pub mod queue;
+/// The ODR frame-rate regulator that caps rendering at the display's
+/// consumption rate.
 pub mod regulator;
+/// Remote VSync baseline: client-driven render triggering.
 pub mod rvs;
+/// Display/refresh specifications shared by simulator and runtime.
 pub mod spec;
+/// The pure swap-protocol state machine executed by both the real
+/// [`sync_queue::SyncQueue`] and the `odr-check` model checker.
+pub mod swap;
+/// The blocking mutex/condvar driver around [`swap::SwapState`].
 pub mod sync_queue;
 
 pub use pacer::{AdaptiveIntervalPacer, IntervalPacer};
@@ -44,4 +58,5 @@ pub use queue::{FrameQueue, Publish};
 pub use regulator::FpsRegulator;
 pub use rvs::RvsRegulator;
 pub use spec::{FpsGoal, OdrOptions, RegulationSpec};
+pub use swap::{SwapState, TryPop, TryPublish};
 pub use sync_queue::SyncQueue;

@@ -1,20 +1,22 @@
 //! Thread-safe multi-buffer for the real-time runtime.
 //!
-//! [`SyncQueue`] wraps the pure [`crate::FrameQueue`] state machine in a
-//! mutex/condvar pair so real producer and consumer threads get exactly the
-//! paper's swap semantics: the producer blocks while the buffer is full
-//! (ODR mode) or replaces the newest pending frame (unregulated mode), the
-//! consumer blocks while it is empty, and a priority publish flushes
-//! obsolete frames and jumps the queue.
+//! [`SyncQueue`] wraps the pure [`crate::swap::SwapState`] protocol engine
+//! in a `std::sync` mutex/condvar pair so real producer and consumer
+//! threads get exactly the paper's swap semantics: the producer blocks
+//! while the buffer is full (ODR mode) or replaces the newest pending
+//! frame (unregulated mode), the consumer blocks while it is empty, and a
+//! priority publish flushes obsolete frames and jumps the queue.
+//!
+//! Every transition decision lives in [`crate::swap`] — this file only
+//! turns `MustWait` outcomes into condvar waits and `Accepted`/`Frame`
+//! outcomes into notifications. The `odr-check` model checker explores
+//! the same transitions under a virtual scheduler, so the protocol
+//! verified there is the protocol running here.
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
-use crate::queue::{FrameQueue, FullPolicy, Publish};
-
-struct Inner<T> {
-    queue: FrameQueue<T>,
-    closed: bool,
-}
+use crate::queue::FullPolicy;
+use crate::swap::{SwapState, TryPop, TryPublish};
 
 /// A bounded, closable, multi-buffer channel between two pipeline threads.
 ///
@@ -42,14 +44,32 @@ struct Inner<T> {
 /// assert_eq!(got, (0..100).collect::<Vec<_>>());
 /// ```
 pub struct SyncQueue<T> {
-    inner: Mutex<Inner<T>>,
+    state: Mutex<SwapState<T>>,
     /// Signalled when a frame is popped (space available).
     space: Condvar,
     /// Signalled when a frame is published (data available).
     data: Condvar,
 }
 
+/// A poisoned lock means another pipeline thread panicked while holding
+/// it. The protocol state itself is a plain state machine left in a
+/// consistent state by every transition, so we keep going rather than
+/// propagate the panic into unrelated threads.
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
 impl<T> SyncQueue<T> {
+    fn with_policy(capacity: usize, policy: FullPolicy) -> Self {
+        SyncQueue {
+            state: Mutex::new(SwapState::new(capacity, policy)),
+            space: Condvar::new(),
+            data: Condvar::new(),
+        }
+    }
+
     /// Creates a queue whose producer blocks when `capacity` frames are
     /// pending (ODR multi-buffer mode).
     ///
@@ -58,14 +78,7 @@ impl<T> SyncQueue<T> {
     /// Panics if `capacity` is zero.
     #[must_use]
     pub fn new_blocking(capacity: usize) -> Self {
-        SyncQueue {
-            inner: Mutex::new(Inner {
-                queue: FrameQueue::new(capacity, FullPolicy::Block),
-                closed: false,
-            }),
-            space: Condvar::new(),
-            data: Condvar::new(),
-        }
+        Self::with_policy(capacity, FullPolicy::Block)
     }
 
     /// Creates a queue whose producer overwrites the newest pending frame
@@ -76,33 +89,24 @@ impl<T> SyncQueue<T> {
     /// Panics if `capacity` is zero.
     #[must_use]
     pub fn new_overwriting(capacity: usize) -> Self {
-        SyncQueue {
-            inner: Mutex::new(Inner {
-                queue: FrameQueue::new(capacity, FullPolicy::Overwrite),
-                closed: false,
-            }),
-            space: Condvar::new(),
-            data: Condvar::new(),
-        }
+        Self::with_policy(capacity, FullPolicy::Overwrite)
     }
 
     /// Publishes a frame, blocking while the buffer is full (in blocking
     /// mode). Returns `false` if the queue was closed (frame discarded).
     pub fn publish_blocking(&self, frame: T) -> bool {
-        let mut guard = self.inner.lock();
+        let mut guard = relock(self.state.lock());
         let mut frame = frame;
         loop {
-            if guard.closed {
-                return false;
-            }
-            match guard.queue.publish(frame) {
-                Publish::Stored | Publish::ReplacedNewest => {
+            match guard.try_publish(frame) {
+                TryPublish::Accepted => {
                     self.data.notify_one();
                     return true;
                 }
-                Publish::WouldBlock(returned) => {
+                TryPublish::Closed => return false,
+                TryPublish::MustWait(returned) => {
                     frame = returned;
-                    self.space.wait(&mut guard);
+                    guard = relock(self.space.wait(guard));
                 }
             }
         }
@@ -111,40 +115,37 @@ impl<T> SyncQueue<T> {
     /// Pops the oldest frame, blocking while the buffer is empty. Returns
     /// `None` once the queue is closed *and* drained.
     pub fn pop_blocking(&self) -> Option<T> {
-        let mut guard = self.inner.lock();
+        let mut guard = relock(self.state.lock());
         loop {
-            if let Some(frame) = guard.queue.pop() {
-                self.space.notify_one();
-                return Some(frame);
+            match guard.try_pop() {
+                TryPop::Frame(frame) => {
+                    self.space.notify_one();
+                    return Some(frame);
+                }
+                TryPop::Drained => return None,
+                TryPop::MustWait => guard = relock(self.data.wait(guard)),
             }
-            if guard.closed {
-                return None;
-            }
-            self.data.wait(&mut guard);
         }
     }
 
     /// Attempts to pop without blocking.
     pub fn try_pop(&self) -> Option<T> {
-        let mut guard = self.inner.lock();
-        let frame = guard.queue.pop();
-        if frame.is_some() {
-            self.space.notify_one();
+        let mut guard = relock(self.state.lock());
+        match guard.try_pop() {
+            TryPop::Frame(frame) => {
+                self.space.notify_one();
+                Some(frame)
+            }
+            TryPop::Drained | TryPop::MustWait => None,
         }
-        frame
     }
 
     /// Priority publish: flushes every pending (obsolete) frame and stores
     /// this one, never blocking. Returns the number of frames flushed, or
     /// `None` if the queue was closed.
     pub fn publish_priority(&self, frame: T) -> Option<usize> {
-        let mut guard = self.inner.lock();
-        if guard.closed {
-            return None;
-        }
-        let flushed = guard.queue.flush_obsolete();
-        let outcome = guard.queue.publish(frame);
-        debug_assert!(matches!(outcome, Publish::Stored));
+        let mut guard = relock(self.state.lock());
+        let flushed = guard.try_publish_priority(frame)?;
         self.data.notify_one();
         self.space.notify_one();
         Some(flushed)
@@ -152,8 +153,8 @@ impl<T> SyncQueue<T> {
 
     /// Closes the queue: producers stop, consumers drain then get `None`.
     pub fn close(&self) {
-        let mut guard = self.inner.lock();
-        guard.closed = true;
+        let mut guard = relock(self.state.lock());
+        guard.close();
         self.data.notify_all();
         self.space.notify_all();
     }
@@ -161,19 +162,19 @@ impl<T> SyncQueue<T> {
     /// Returns `true` if the queue has been closed.
     #[must_use]
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().closed
+        relock(self.state.lock()).is_closed()
     }
 
     /// Total frames dropped by overwrites or priority flushes.
     #[must_use]
     pub fn drops(&self) -> u64 {
-        self.inner.lock().queue.drops()
+        relock(self.state.lock()).drops()
     }
 
     /// Current number of pending frames.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().queue.len()
+        relock(self.state.lock()).len()
     }
 
     /// Returns `true` if no frames are pending.
@@ -270,6 +271,24 @@ mod tests {
         let q: SyncQueue<u8> = SyncQueue::new_blocking(1);
         assert_eq!(q.try_pop(), None);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn poisoned_lock_does_not_wedge_the_queue() {
+        let q = Arc::new(SyncQueue::new_blocking(2));
+        let poisoner = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let _guard = relock(q.state.lock());
+                panic!("poison the mutex on purpose");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        // All entry points still work on the poisoned mutex.
+        assert!(q.publish_blocking(5u8));
+        assert_eq!(q.pop_blocking(), Some(5));
+        q.close();
+        assert_eq!(q.pop_blocking(), None);
     }
 
     #[test]

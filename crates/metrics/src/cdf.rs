@@ -75,11 +75,9 @@ impl Cdf {
     #[must_use]
     pub fn plot_points(&self, points: usize) -> Vec<(f64, f64)> {
         assert!(points >= 2, "need at least two plot points");
-        if self.sorted.is_empty() {
+        let (Some(&lo), Some(&hi)) = (self.sorted.first(), self.sorted.last()) else {
             return Vec::new();
-        }
-        let lo = self.sorted[0];
-        let hi = *self.sorted.last().expect("non-empty");
+        };
         (0..points)
             .map(|i| {
                 let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;

@@ -969,8 +969,10 @@ impl Sim {
         // app state before it was simulated.
         if let Some(upto) = frame.answers_upto {
             while self.answered_upto <= upto {
-                let created = self.input_created
-                    [usize::try_from(self.answered_upto).expect("input ids fit in usize")];
+                let Ok(idx) = usize::try_from(self.answered_upto) else {
+                    break; // unreachable on 64-bit targets
+                };
+                let created = self.input_created[idx];
                 if created >= self.warmup {
                     self.mtp_ms
                         .record(self.now.saturating_since(created).as_secs_f64() * 1e3);

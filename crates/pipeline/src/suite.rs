@@ -123,8 +123,7 @@ impl SuiteResult {
         let avg = mean(runs.iter().map(|r| r.report.fps_gap_avg));
         let worst = runs
             .iter()
-            .max_by(|a, b| a.report.fps_gap_max.total_cmp(&b.report.fps_gap_max))
-            .expect("non-empty");
+            .max_by(|a, b| a.report.fps_gap_max.total_cmp(&b.report.fps_gap_max))?;
         Some((avg, worst.report.fps_gap_max, worst.benchmark))
     }
 

@@ -53,7 +53,7 @@ pub fn ascii_timeline(traces: &[FrameTrace], start: SimTime, end: SimTime, cols:
     let mut out = String::new();
     for (label, row) in labels.iter().zip(rows.iter()) {
         out.push_str(label);
-        out.push_str(core::str::from_utf8(row).expect("ASCII"));
+        out.extend(row.iter().map(|&b| char::from(b)));
         out.push_str("|\n");
     }
     out

@@ -68,7 +68,8 @@ impl Mesh {
             ),
         ];
         for (normal, u, v) in faces {
-            let base = u32::try_from(mesh.vertices.len()).expect("small mesh");
+            let base = mesh.vertices.len() as u32; // 24 vertices max
+
             let centre = normal * 0.5;
             for (su, sv) in [(-0.5, -0.5), (0.5, -0.5), (0.5, 0.5), (-0.5, 0.5)] {
                 mesh.vertices.push(Vertex {

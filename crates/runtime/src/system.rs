@@ -3,19 +3,24 @@
 use std::{
     sync::{
         atomic::{AtomicBool, AtomicU64, Ordering},
-        Arc,
+        mpsc, Arc, Mutex, MutexGuard, PoisonError,
     },
     thread,
     time::{Duration, Instant},
 };
 
-use crossbeam::channel;
 use odr_core::{FpsRegulator, PriorityGate, SyncQueue};
 use odr_metrics::Summary;
 use odr_raster::{Framebuffer, Rasterizer, Scene};
-use parking_lot::Mutex;
 
 use crate::report::RuntimeReport;
+
+/// Locks a metrics mutex, recovering from poison: these mutexes guard
+/// plain accumulators that stay consistent even if a peer thread
+/// panicked mid-run, and the panic itself is surfaced at join time.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Which regulation the runtime applies.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -142,8 +147,8 @@ impl System {
             Arc::new(SyncQueue::new_overwriting(1))
         };
         let buf2: Arc<SyncQueue<WireFrame>> = Arc::new(SyncQueue::new_blocking(1));
-        let (to_client, from_net) = channel::unbounded::<(WireFrame, Instant)>();
-        let (input_tx, input_rx) = channel::unbounded::<Instant>();
+        let (to_client, from_net) = mpsc::channel::<(WireFrame, Instant)>();
+        let (input_tx, input_rx) = mpsc::channel::<Instant>();
 
         let rendered = Arc::new(AtomicU64::new(0));
         let encoded_n = Arc::new(AtomicU64::new(0));
@@ -300,15 +305,15 @@ impl System {
                             displayed.fetch_add(1, Ordering::Relaxed);
                             let shown = Instant::now();
                             if let Some(last) = last_display {
-                                intervals.lock().record((shown - last).as_secs_f64() * 1e3);
+                                lock(&intervals).record((shown - last).as_secs_f64() * 1e3);
                             }
                             last_display = Some(shown);
                             if let Some(created) = frame.input_tag {
-                                mtp.lock().record(created.elapsed().as_secs_f64() * 1e3);
+                                lock(&mtp).record(created.elapsed().as_secs_f64() * 1e3);
                             }
                             let p = odr_codec::psnr(&frame.source, &rgba);
                             if p.is_finite() {
-                                let mut guard = psnr_sum.lock();
+                                let mut guard = lock(&psnr_sum);
                                 guard.0 += p;
                                 guard.1 += 1;
                             }
@@ -341,16 +346,20 @@ impl System {
         // --- Shutdown ----------------------------------------------------
         stop.store(true, Ordering::Relaxed);
         buf1.close();
-        app.join().expect("app thread");
-        proxy.join().expect("proxy thread");
-        net.join().expect("network thread");
+        for (name, handle) in [("app", app), ("proxy", proxy), ("network", net)] {
+            if handle.join().is_err() {
+                panic!("{name} thread panicked");
+            }
+        }
         drop(input_tx);
         // `to_client` was moved into the network thread and dropped with
         // it, so the client drains and exits.
-        client.join().expect("client thread");
+        if client.join().is_err() {
+            panic!("client thread panicked");
+        }
 
         let elapsed = start.elapsed().as_secs_f64();
-        let (psnr_total, psnr_count) = *psnr_sum.lock();
+        let (psnr_total, psnr_count) = *lock(&psnr_sum);
         RuntimeReport {
             elapsed_secs: elapsed,
             frames_rendered: rendered.load(Ordering::Relaxed),
@@ -360,10 +369,10 @@ impl System {
             priority_frames: priority_n.load(Ordering::Relaxed),
             inputs: inputs_n.load(Ordering::Relaxed),
             mtp_ms: Arc::try_unwrap(mtp)
-                .map(Mutex::into_inner)
+                .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
                 .unwrap_or_default(),
             display_intervals_ms: Arc::try_unwrap(intervals)
-                .map(Mutex::into_inner)
+                .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
                 .unwrap_or_default(),
             bytes_sent: bytes_n.load(Ordering::Relaxed),
             mean_psnr_db: if psnr_count == 0 {

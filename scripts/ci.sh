@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI for the ODR workspace: build, test, lint, model-check.
+# Everything here runs with no network access and no external tools
+# beyond the pinned Rust toolchain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, full workspace) =="
+cargo build --release --workspace
+
+echo "== tests (full workspace, all features) =="
+cargo test -q --workspace
+
+echo "== benches compile =="
+cargo bench --no-run --workspace
+
+echo "== odr-check: lint + swap-protocol model checker =="
+cargo run --release -q -p odr-check -- --deny-warnings --verbose
+
+echo "ci: all green"

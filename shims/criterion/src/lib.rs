@@ -1,0 +1,172 @@
+//! Minimal, std-only stand-in for the crates.io `criterion` package.
+//!
+//! The offline CI environment cannot reach a cargo registry, so this shim
+//! provides just enough of the criterion API for the `odr-bench` bench
+//! targets to build and run: `criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function`, and `Bencher::iter`.
+//!
+//! It is a measurement harness, not a statistics engine: each benchmark
+//! runs `sample_size` iterations (default 10) and reports min / mean /
+//! max wall-clock time per iteration to stdout. Swap the workspace
+//! `criterion` dependency back to the crates.io package for real
+//! statistical benchmarking.
+
+use std::time::{Duration, Instant};
+
+/// Units for reporting throughput alongside timing.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Drives one benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iterations: usize,
+}
+
+impl Bencher {
+    /// Times `body` once per sample and records the samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            let out = body();
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut body: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iterations: self.sample_size,
+        };
+        body(&mut b);
+        report(&format!("{}/{}", self.name, id), &b.samples, self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to each benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark with default settings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut body: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iterations: 10,
+        };
+        body(&mut b);
+        report(id, &b.samples, None);
+        self
+    }
+}
+
+fn report(id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{id}: no samples");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mbps = n as f64 / mean.as_secs_f64() / 1e6;
+            format!("  {mbps:.1} MB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / mean.as_secs_f64();
+            format!("  {eps:.1} elem/s")
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id}: mean {mean:?}  min {min:?}  max {max:?}  ({} samples){rate}",
+        samples.len()
+    );
+}
+
+/// Re-export so `std::hint::black_box` callers migrating from criterion
+/// keep working.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_sample_size_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(7);
+        let mut runs = 0;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 7);
+    }
+}

@@ -1,4 +1,9 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! Runs under the `proptest-tests` feature (on by default); the strategy
+//! engine is the std-only shim in `shims/proptest` so the suite runs
+//! fully offline. See shims/README.md.
+#![cfg(feature = "proptest-tests")]
 
 use cloud3d_odr::metrics::{Summary, WindowedRate};
 use cloud3d_odr::netsim::{Link, LinkParams};
