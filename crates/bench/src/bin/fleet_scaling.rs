@@ -1,0 +1,70 @@
+//! Fleet parallel-scaling harness: times the same 64-session fleet on
+//! 1 worker thread and on 8, reports the wall-clock speedup, and
+//! re-checks that both runs produced byte-identical reports.
+//!
+//! On a host with ≥ 8 cores the speedup is loosely asserted (≥ 2×; the
+//! sessions are embarrassingly parallel, so anything lower means the
+//! engine is serialising somewhere). On smaller hosts the numbers are
+//! reported only — a container pinned to one core cannot speed up.
+//!
+//! ```text
+//! cargo run --release -p odr-bench --bin fleet_scaling
+//! ```
+
+use std::time::Instant;
+
+use odr_core::{FpsGoal, RegulationSpec};
+use odr_fleet::{run_fleet, FleetConfig};
+use odr_pipeline::ExperimentConfig;
+use odr_simtime::Duration;
+use odr_workload::{Benchmark, Platform, Resolution, Scenario};
+
+const SESSIONS: u32 = 64;
+const PARALLEL_THREADS: usize = 8;
+
+fn timed_run(threads: usize) -> (String, f64) {
+    let base = ExperimentConfig::new(
+        Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud),
+        RegulationSpec::odr(FpsGoal::Target(60.0)),
+    )
+    .with_duration(Duration::from_secs(5))
+    .with_seed(42);
+    let cfg = FleetConfig::new(base, SESSIONS).with_threads(threads);
+    let start = Instant::now();
+    let report = run_fleet(&cfg);
+    (report.to_text(), start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let (serial_text, serial_s) = timed_run(1);
+    let (parallel_text, parallel_s) = timed_run(PARALLEL_THREADS);
+    let speedup = serial_s / parallel_s.max(1e-9);
+
+    println!(
+        "fleet_scaling: {SESSIONS} sessions | {serial_s:.3} s on 1 thread, \
+         {parallel_s:.3} s on {PARALLEL_THREADS} threads | speedup {speedup:.2}x \
+         ({cores} core(s) available)"
+    );
+
+    assert_eq!(
+        serial_text, parallel_text,
+        "fleet report differs between 1 and {PARALLEL_THREADS} threads"
+    );
+    println!("fleet_scaling: reports byte-identical across thread counts");
+
+    if cores >= PARALLEL_THREADS {
+        // Loose bound: perfectly parallel work should scale near-linearly,
+        // but CI machines share cores, so only reject outright serialisation.
+        assert!(
+            speedup >= 2.0,
+            "expected >= 2x speedup on {cores} cores, measured {speedup:.2}x"
+        );
+        println!("fleet_scaling: speedup within expectations");
+    } else {
+        println!(
+            "fleet_scaling: {cores} core(s) < {PARALLEL_THREADS}; reporting only, \
+             no speedup assertion"
+        );
+    }
+}

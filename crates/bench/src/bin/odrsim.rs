@@ -17,8 +17,17 @@
 //! * `--display immediate|vsync:<hz>|freesync:<hz>` \[immediate\]
 //! * `--no-priority` — disable PriorityFrame (ODR only)
 //! * `--trace` — append the per-frame trace as CSV after the report
+//! * `--sessions <n>` — simulate a fleet of n sessions (seeds derived
+//!   per session) and print the aggregate fleet report instead
+//! * `--threads <t>` — fleet worker threads \[1\]; never changes output
+//!
+//! Fleet mode prints the deterministic [`odr_fleet::FleetReport`] text
+//! to stdout (byte-identical for any `--threads`) and wall-clock timing
+//! to stderr, so `odrsim ... > a.txt` output can be `cmp`ed across
+//! thread counts while still seeing the speedup.
 
 use odr_core::{FpsGoal, OdrOptions, RegulationSpec};
+use odr_fleet::{run_fleet, FleetConfig};
 use odr_pipeline::{run_experiment, ClientDisplay, ExperimentConfig};
 use odr_simtime::Duration;
 use odr_workload::{Benchmark, Platform, Resolution, Scenario};
@@ -43,6 +52,20 @@ fn main() {
     } else {
         config.experiment
     };
+    if let Some(sessions) = config.sessions {
+        let fleet_cfg = FleetConfig::new(experiment, sessions).with_threads(config.threads);
+        let started = std::time::Instant::now();
+        let fleet = run_fleet(&fleet_cfg);
+        let elapsed = started.elapsed().as_secs_f64();
+        print!("{}", fleet.to_text());
+        eprintln!(
+            "fleet: {} sessions on {} thread(s) in {:.2} s wall",
+            sessions,
+            fleet_cfg.effective_threads(),
+            elapsed
+        );
+        return;
+    }
     let report = run_experiment(&experiment);
     println!("{}", report.one_line());
     println!();
@@ -90,11 +113,15 @@ const USAGE: &str = "odrsim — simulate one cloud-3D configuration
   --seed <u64>                         [1]
   --display immediate|vsync:<hz>|freesync:<hz>  [immediate]
   --no-priority                        disable PriorityFrame (ODR)
-  --trace                              append per-frame trace CSV";
+  --trace                              append per-frame trace CSV
+  --sessions <n>                       fleet mode: n sessions, aggregate report
+  --threads <t>                        fleet worker threads         [1]";
 
 struct Parsed {
     help: bool,
     trace: bool,
+    sessions: Option<u32>,
+    threads: usize,
     experiment: ExperimentConfig,
 }
 
@@ -110,6 +137,8 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
     let mut priority = true;
     let mut help = false;
     let mut trace = false;
+    let mut sessions: Option<u32> = None;
+    let mut threads = 1usize;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -169,6 +198,21 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
             }
             "--no-priority" => priority = false,
             "--trace" => trace = true,
+            "--sessions" => {
+                sessions = Some(
+                    value("--sessions")?
+                        .parse()
+                        .map_err(|_| "bad session count".to_owned())?,
+                );
+            }
+            "--threads" => {
+                threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "bad thread count".to_owned())?;
+                if threads == 0 {
+                    return Err("need at least one thread".to_owned());
+                }
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -194,6 +238,8 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
     Ok(Parsed {
         help,
         trace,
+        sessions,
+        threads,
         experiment,
     })
 }
@@ -271,6 +317,18 @@ mod tests {
         assert!(parse(&argv("--display vsync")).is_err());
         assert!(parse(&argv("--bogus")).is_err());
         assert!(parse(&argv("--duration")).is_err());
+        assert!(parse(&argv("--sessions lots")).is_err());
+        assert!(parse(&argv("--threads 0")).is_err());
+    }
+
+    #[test]
+    fn fleet_flags_parse() {
+        let p = parse(&argv("--sessions 64 --threads 8 --target 60")).expect("parse");
+        assert_eq!(p.sessions, Some(64));
+        assert_eq!(p.threads, 8);
+        let d = parse(&[]).expect("defaults");
+        assert_eq!(d.sessions, None);
+        assert_eq!(d.threads, 1);
     }
 
     #[test]

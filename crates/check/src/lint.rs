@@ -24,10 +24,13 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// Crates whose sources must stay seed-deterministic.
+/// Crates whose sources must stay seed-deterministic. `fleet` spawns
+/// OS threads but still belongs here: thread *scheduling* is made
+/// irrelevant by its index-order reduction, while wall-clock reads or
+/// OS randomness would genuinely break bit-identical reports.
 pub const PURE_SIM_CRATES: &[&str] = &[
     "simtime", "core", "pipeline", "workload", "codec", "raster", "memsim", "netsim", "metrics",
-    "qoe",
+    "qoe", "fleet",
 ];
 
 /// Directories under `crates/` that are exempt from every rule family
@@ -613,6 +616,22 @@ mod tests {
             &Allowlist::default(),
         );
         assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn fleet_is_a_pure_sim_crate_despite_threads() {
+        // The fleet engine may spawn OS threads (scheduling is made
+        // deterministic by index-order reduction), but wall-clock reads
+        // and real sleeping would still break bit-identical output.
+        let ok = "fn run() { std::thread::scope(|s| { s.spawn(|| 1); }); }\n";
+        let r = lint_src("crates/fleet/src/engine.rs", ok, &Allowlist::default());
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+
+        let bad = "fn run() { let t = std::time::Instant::now(); std::thread::sleep(d); }\n";
+        let r = lint_src("crates/fleet/src/engine.rs", bad, &Allowlist::default());
+        let rules: Vec<&str> = r.violations.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"determinism/instant"), "{rules:?}");
+        assert!(rules.contains(&"determinism/sleep"), "{rules:?}");
     }
 
     #[test]

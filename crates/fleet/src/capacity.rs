@@ -1,0 +1,167 @@
+//! Capacity-vs-QoS curves: fleet DES measurements against the
+//! mean-field co-location model.
+//!
+//! [`odr_pipeline::colocation`] predicts, analytically, how many
+//! regulated sessions a server hosts. The fleet engine measures the same
+//! quantities from the discrete-event side: run k independent sessions
+//! and sum their per-stage busy fractions. The DES sessions do *not*
+//! contend with each other (each simulates a dedicated server), so the
+//! raw sums sit at single-session slowdown; to compare against the
+//! model's contended prediction, the sweep divides out the slowdown each
+//! measurement ran at — busy fractions scale linearly with slowdown —
+//! and re-solves the model's fixed point with DES-calibrated
+//! coefficients. Model and DES then share only the DRAM contention
+//! curve: the model's coefficients come from closed-form stage costs,
+//! the DES's from simulated execution, so agreement is a genuine
+//! cross-check. The per-k QoS columns (FPS/MtP/satisfaction) put
+//! measured quality next to each predicted operating point.
+
+use odr_memsim::MemoryParams;
+use odr_pipeline::colocation::{ColocationModel, ColocationResult, ServerCapacity};
+use odr_pipeline::ExperimentConfig;
+
+use crate::config::FleetConfig;
+use crate::engine::run_fleet;
+
+/// One operating point on the capacity curve: k sessions, model
+/// prediction beside fleet measurement.
+#[derive(Clone, Debug)]
+pub struct CapacityPoint {
+    /// Number of co-located sessions.
+    pub sessions: u32,
+    /// The mean-field model's prediction at this k.
+    pub model: ColocationResult,
+    /// Raw DES-measured concurrent memory streams: the sum of busy
+    /// fractions over all sessions and stages, at single-session
+    /// (uncontended) slowdown.
+    pub des_streams: f64,
+    /// DES-calibrated *contended* stream count: measured busy fractions
+    /// re-solved through the model's fixed point at k sessions. This is
+    /// the quantity comparable to
+    /// [`ColocationResult::expected_streams`].
+    pub des_contended_streams: f64,
+    /// Converged slowdown of the DES-calibrated fixed point (comparable
+    /// to [`ColocationResult::slowdown`]).
+    pub des_slowdown: f64,
+    /// DES-calibrated shared-GPU load under contention (comparable to
+    /// [`ColocationResult::gpu_load`]).
+    pub des_gpu_load: f64,
+    /// Fleet power draw in watts (sum of per-session means).
+    pub fleet_power_w: f64,
+    /// Mean client FPS across the fleet's windows.
+    pub mean_client_fps: f64,
+    /// Median MtP latency across the fleet in milliseconds.
+    pub median_mtp_ms: f64,
+    /// Mean per-session target satisfaction.
+    pub satisfaction: f64,
+}
+
+/// Sweeps session counts `ks`, running a fleet DES at each k and
+/// evaluating the mean-field model beside it.
+///
+/// `target_fps` parameterises the model (use the same target the
+/// `base` policy regulates to); `threads` sizes each fleet's worker
+/// pool and does not affect any reported number.
+///
+/// # Panics
+///
+/// Panics if `target_fps` is not strictly positive (the model requires
+/// a positive target).
+#[must_use]
+pub fn capacity_curve(
+    base: &ExperimentConfig,
+    capacity: ServerCapacity,
+    target_fps: f64,
+    ks: &[u32],
+    threads: usize,
+) -> Vec<CapacityPoint> {
+    let model = ColocationModel::new(base.scenario, target_fps, capacity);
+    let mem = base.scenario.memory_params();
+    ks.iter()
+        .map(|&k| {
+            let fleet = run_fleet(&FleetConfig::new(*base, k).with_threads(threads));
+            let n = f64::from(k.max(1));
+            let per_stage = fleet.busy.map(|b| b / n);
+            let (des_contended_streams, des_slowdown, contended) =
+                des_fixed_point(&mem, per_stage, f64::from(k));
+            CapacityPoint {
+                sessions: k,
+                model: model.evaluate(k),
+                des_streams: fleet.des_streams,
+                des_contended_streams,
+                des_slowdown,
+                des_gpu_load: f64::from(k) * contended[1] / capacity.gpu,
+                fleet_power_w: fleet.total_power_w,
+                mean_client_fps: fleet.per_session.iter().map(|s| s.client_fps).sum::<f64>() / n,
+                median_mtp_ms: fleet.mtp_cdf.quantile(0.5),
+                satisfaction: fleet.mean_satisfaction,
+            }
+        })
+        .collect()
+}
+
+/// Re-solves the co-location fixed point from DES-measured busy
+/// fractions.
+///
+/// `per_stage` holds one session's measured busy fractions, taken at the
+/// mean-field slowdown of the session's own concurrency (the DES session
+/// contends only with itself). Dividing that slowdown out recovers
+/// uncontended coefficients; iterating `slowdown -> busy -> streams ->
+/// slowdown` with k sessions then mirrors
+/// [`ColocationModel::evaluate`] exactly, with measured coefficients in
+/// place of closed-form ones. Returns `(streams, slowdown, per-stage
+/// contended busy fractions)`.
+fn des_fixed_point(mem: &MemoryParams, per_stage: [f64; 4], k: f64) -> (f64, f64, [f64; 4]) {
+    let measured: f64 = per_stage.iter().sum();
+    let self_slowdown = mem.slowdown_for_streams(measured.max(1.0));
+    let coeff = per_stage.map(|b| b / self_slowdown);
+    let mut slowdown = 1.0f64;
+    let mut streams = 0.0;
+    for _ in 0..64 {
+        streams = k * coeff.iter().map(|c| (c * slowdown).min(1.0)).sum::<f64>();
+        let next = mem.slowdown_for_streams(streams.max(1.0));
+        if (next - slowdown).abs() < 1e-9 {
+            slowdown = next;
+            break;
+        }
+        slowdown = next;
+    }
+    (streams, slowdown, coeff.map(|c| (c * slowdown).min(1.0)))
+}
+
+/// Renders a capacity curve as a deterministic text table (one line per
+/// k), for the bench harness and golden comparisons.
+#[must_use]
+pub fn curve_to_text(points: &[CapacityPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>3} {:>13} {:>13} {:>9} {:>9} {:>10} {:>9} {:>9} {:>8}",
+        "k",
+        "model_streams",
+        "des_streams",
+        "model_sd",
+        "des_sd",
+        "power_w",
+        "fps",
+        "mtp_ms",
+        "feas"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>3} {:>13.4} {:>13.4} {:>9.4} {:>9.4} {:>10.2} {:>9.2} {:>9.2} {:>8}",
+            p.sessions,
+            p.model.expected_streams,
+            p.des_contended_streams,
+            p.model.slowdown,
+            p.des_slowdown,
+            p.fleet_power_w,
+            p.mean_client_fps,
+            p.median_mtp_ms,
+            p.model.feasible
+        );
+    }
+    out
+}

@@ -1,0 +1,124 @@
+//! Fleet configuration and per-session seed derivation.
+
+use odr_pipeline::ExperimentConfig;
+
+/// Weyl-sequence increment from SplitMix64 (same constant
+/// `odr_simtime::Rng` uses for stream forking): multiplying the session
+/// index by it spreads consecutive indices across the 64-bit seed space.
+const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Derives session `index`'s RNG seed from the fleet's base seed.
+///
+/// The derivation is a pure function of `(base, index)` — never of
+/// thread assignment — and is the identity at `index == 0`, so a fleet
+/// of one session reproduces the serial single-session run exactly.
+///
+/// # Examples
+///
+/// ```
+/// use odr_fleet::session_seed;
+///
+/// assert_eq!(session_seed(42, 0), 42);
+/// assert_ne!(session_seed(42, 1), session_seed(42, 2));
+/// ```
+#[must_use]
+pub fn session_seed(base: u64, index: u32) -> u64 {
+    base ^ u64::from(index).wrapping_mul(GOLDEN_GAMMA)
+}
+
+/// A fleet of N sessions sharing one experiment shape.
+///
+/// Every session runs the same scenario, policy, duration and display
+/// mode as `base`; only the seed differs per session (derived with
+/// [`session_seed`]). `threads` sizes the worker pool and has **no**
+/// effect on any reported number — see the crate-level determinism
+/// contract.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfig {
+    /// Template configuration for every session.
+    pub base: ExperimentConfig,
+    /// Number of independent sessions to simulate.
+    pub sessions: u32,
+    /// Worker threads (clamped to `1..=sessions` when the fleet runs).
+    pub threads: usize,
+}
+
+impl FleetConfig {
+    /// Creates a fleet of `sessions` copies of `base`, single-threaded.
+    #[must_use]
+    pub fn new(base: ExperimentConfig, sessions: u32) -> Self {
+        FleetConfig {
+            base,
+            sessions,
+            threads: 1,
+        }
+    }
+
+    /// Sets the worker-pool size.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configuration session `index` runs with.
+    #[must_use]
+    pub fn session_config(&self, index: u32) -> ExperimentConfig {
+        self.base.with_seed(session_seed(self.base.seed, index))
+    }
+
+    /// Worker threads actually used: at least one, at most one per
+    /// session.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        self.threads.clamp(1, (self.sessions.max(1)) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odr_core::{FpsGoal, RegulationSpec};
+    use odr_workload::{Benchmark, Platform, Resolution, Scenario};
+
+    fn base() -> ExperimentConfig {
+        ExperimentConfig::new(
+            Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud),
+            RegulationSpec::odr(FpsGoal::Target(60.0)),
+        )
+    }
+
+    #[test]
+    fn seed_is_identity_at_index_zero() {
+        for base in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            assert_eq!(session_seed(base, 0), base);
+        }
+    }
+
+    #[test]
+    fn seeds_are_distinct_across_sessions() {
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..256 {
+            assert!(seen.insert(session_seed(0x0D12_5EED, i)), "dup at {i}");
+        }
+    }
+
+    #[test]
+    fn session_config_only_changes_the_seed() {
+        let cfg = FleetConfig::new(base(), 4);
+        let s0 = cfg.session_config(0);
+        let s3 = cfg.session_config(3);
+        assert_eq!(s0.seed, cfg.base.seed);
+        assert_ne!(s3.seed, cfg.base.seed);
+        assert_eq!(s0.label(), s3.label());
+        assert_eq!(s0.duration, s3.duration);
+    }
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(FleetConfig::new(base(), 4).with_threads(0).effective_threads(), 1);
+        assert_eq!(FleetConfig::new(base(), 4).with_threads(9).effective_threads(), 4);
+        assert_eq!(FleetConfig::new(base(), 0).with_threads(9).effective_threads(), 1);
+        assert_eq!(FleetConfig::new(base(), 16).with_threads(8).effective_threads(), 8);
+    }
+}

@@ -1,0 +1,102 @@
+//! The deterministic worker pool.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use odr_pipeline::run_experiment;
+
+use crate::config::FleetConfig;
+use crate::report::{FleetReport, SessionOutcome};
+
+/// Simulates `cfg.sessions` independent sessions across
+/// `cfg.effective_threads()` workers and reduces them into one
+/// [`FleetReport`].
+///
+/// Workers claim session indices from a shared atomic counter (no work
+/// stealing, no locks); each runs its sessions to completion and hands
+/// back `(index, outcome)` pairs. After every worker joins, outcomes are
+/// sorted by session index and folded in that order — the report is
+/// bit-identical for any thread count (see the crate-level determinism
+/// contract).
+///
+/// # Panics
+///
+/// Re-raises any panic from a worker thread.
+#[must_use]
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    let sessions = cfg.sessions;
+    let threads = cfg.effective_threads();
+    let next = AtomicU32::new(0);
+
+    let mut outcomes: Vec<SessionOutcome> = Vec::with_capacity(sessions as usize);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= sessions {
+                            break;
+                        }
+                        let session_cfg = cfg.session_config(index);
+                        let report = run_experiment(&session_cfg);
+                        mine.push(SessionOutcome::from_report(index, &session_cfg, &report));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for worker in workers {
+            match worker.join() {
+                Ok(mine) => outcomes.extend(mine),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+
+    outcomes.sort_by_key(|o| o.index);
+    debug_assert_eq!(outcomes.len(), sessions as usize);
+    FleetReport::reduce(cfg.base.label(), &outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odr_core::{FpsGoal, RegulationSpec};
+    use odr_pipeline::ExperimentConfig;
+    use odr_simtime::Duration;
+    use odr_workload::{Benchmark, Platform, Resolution, Scenario};
+
+    fn tiny(sessions: u32) -> FleetConfig {
+        let base = ExperimentConfig::new(
+            Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud),
+            RegulationSpec::odr(FpsGoal::Target(60.0)),
+        )
+        .with_duration(Duration::from_secs(2));
+        FleetConfig::new(base, sessions)
+    }
+
+    #[test]
+    fn fleet_runs_every_session() {
+        let r = run_fleet(&tiny(3).with_threads(2));
+        assert_eq!(r.sessions, 3);
+        assert_eq!(r.per_session.len(), 3);
+        for (i, row) in r.per_session.iter().enumerate() {
+            assert_eq!(row.index as usize, i);
+            assert!(row.client_fps > 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_fleet_is_fine() {
+        let r = run_fleet(&tiny(0));
+        assert_eq!(r.sessions, 0);
+        assert!(r.per_session.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_sessions_is_fine() {
+        let r = run_fleet(&tiny(2).with_threads(64));
+        assert_eq!(r.sessions, 2);
+    }
+}

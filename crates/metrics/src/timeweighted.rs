@@ -77,6 +77,64 @@ impl TimeWeighted {
         let sum = self.weighted_sum + self.current * (end - self.last_change).as_secs_f64();
         sum / total
     }
+
+    /// Finalises the signal over `[start, end]` into a mergeable
+    /// [`TimeWeightedAgg`].
+    #[must_use]
+    pub fn aggregate(&self, end: SimTime) -> TimeWeightedAgg {
+        let end = end.max(self.last_change);
+        let span = (end - self.start).as_secs_f64();
+        let integral = self.weighted_sum + self.current * (end - self.last_change).as_secs_f64();
+        TimeWeightedAgg {
+            integral,
+            span_secs: span,
+            peak: self.peak,
+        }
+    }
+}
+
+/// A finalised, mergeable view of a [`TimeWeighted`] signal: the integral
+/// `∫ signal dt` over the measured span, the span itself, and the peak.
+///
+/// Combining aggregates from concurrently running sessions adds the
+/// integrals — the integral of a sum of signals is the sum of the
+/// integrals — so fleet-level totals (total power, total active streams)
+/// stay exact without replaying either signal. Spans take the maximum
+/// (sessions run over the same simulated interval), and peaks add: the
+/// sum of per-signal peaks is a safe upper bound on the combined
+/// signal's peak.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TimeWeightedAgg {
+    /// `∫ signal dt` over the span, in value·seconds.
+    pub integral: f64,
+    /// Span covered, in seconds.
+    pub span_secs: f64,
+    /// Upper bound on the combined signal's peak.
+    pub peak: f64,
+}
+
+impl TimeWeightedAgg {
+    /// Combines two aggregates. Commutative; associative up to f64
+    /// rounding, so fleet reduction fixes an explicit (session-index)
+    /// order to stay bit-identical regardless of thread count.
+    #[must_use]
+    pub fn merge(self, other: TimeWeightedAgg) -> TimeWeightedAgg {
+        TimeWeightedAgg {
+            integral: self.integral + other.integral,
+            span_secs: self.span_secs.max(other.span_secs),
+            peak: self.peak + other.peak,
+        }
+    }
+
+    /// Mean of the combined signal over the span, or 0.0 for an empty
+    /// span.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.span_secs <= 0.0 {
+            return 0.0;
+        }
+        self.integral / self.span_secs
+    }
 }
 
 #[cfg(test)]
@@ -128,5 +186,51 @@ mod tests {
         w.set(SimTime::from_secs(12), 6.0);
         let m = w.mean(SimTime::from_secs(14));
         assert!((m - 4.0).abs() < 1e-12);
+    }
+
+    // ---- edge cases fleet aggregation will hit ----
+
+    #[test]
+    fn aggregate_matches_mean() {
+        let mut w = TimeWeighted::new(SimTime::ZERO, 1.0);
+        w.set(SimTime::from_secs(2), 4.0);
+        let agg = w.aggregate(SimTime::from_secs(4));
+        assert!((agg.mean() - w.mean(SimTime::from_secs(4))).abs() < 1e-12);
+        assert!((agg.integral - 10.0).abs() < 1e-12);
+        assert_eq!(agg.span_secs, 4.0);
+        assert_eq!(agg.peak, 4.0);
+    }
+
+    #[test]
+    fn aggregate_zero_span_is_empty() {
+        let w = TimeWeighted::new(SimTime::from_secs(5), 3.0);
+        let agg = w.aggregate(SimTime::from_secs(5));
+        assert_eq!(agg.span_secs, 0.0);
+        assert_eq!(agg.integral, 0.0);
+        assert_eq!(agg.mean(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_single_segment() {
+        let w = TimeWeighted::new(SimTime::ZERO, 7.0);
+        let agg = w.aggregate(SimTime::from_secs(3));
+        assert!((agg.integral - 21.0).abs() < 1e-12);
+        assert_eq!(agg.mean(), 7.0);
+    }
+
+    #[test]
+    fn merged_aggregates_sum_signals() {
+        // Two constant signals over the same 10 s span: the merged mean is
+        // the sum of the individual means (total power across sessions).
+        let a = TimeWeighted::new(SimTime::ZERO, 30.0).aggregate(SimTime::from_secs(10));
+        let b = TimeWeighted::new(SimTime::ZERO, 12.5).aggregate(SimTime::from_secs(10));
+        let m = a.merge(b);
+        assert!((m.mean() - 42.5).abs() < 1e-12);
+        assert_eq!(m.peak, 42.5);
+        // Identity under the default (empty) aggregate.
+        let id = TimeWeightedAgg::default();
+        assert_eq!(m.merge(id), m);
+        // Commutative.
+        assert_eq!(a.merge(b), b.merge(a));
     }
 }

@@ -74,6 +74,38 @@ impl WindowedRate {
         self.total
     }
 
+    /// The window length this counter was created with.
+    #[must_use]
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Folds another counter over the same window grid into this one.
+    ///
+    /// Window counts add element-wise (integer arithmetic), so merging is
+    /// **exactly** associative and commutative and the merged per-window
+    /// rates equal those of a single counter that recorded every event
+    /// itself. This is what lets fleet sessions count frames
+    /// independently and still produce one exact aggregate rate series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two counters use different window lengths — their
+    /// grids would not line up and the merged rates would be meaningless.
+    pub fn merge(&mut self, other: &WindowedRate) {
+        assert_eq!(
+            self.window, other.window,
+            "cannot merge WindowedRates with different window lengths"
+        );
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
     /// Returns the per-window rates (events per second) for every window
     /// that *completed* before `end`. The final partial window is dropped so
     /// a run that stops mid-window does not understate its last rate.
@@ -273,5 +305,74 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_panics() {
         let _ = WindowedRate::new(Duration::ZERO);
+    }
+
+    // ---- edge cases fleet aggregation will hit ----
+
+    #[test]
+    fn empty_series_has_no_rates_and_zero_fraction() {
+        let r = WindowedRate::new(Duration::from_secs(1));
+        assert_eq!(r.total(), 0);
+        assert!(r.rates(at_ms(5000)).is_empty() || r.rates(at_ms(5000)).iter().all(|&x| x == 0.0));
+        assert_eq!(r.fraction_meeting(at_ms(0), 60.0), 0.0);
+        assert_eq!(r.mean_rate(at_ms(0)), 0.0);
+    }
+
+    #[test]
+    fn single_sample_single_window() {
+        let mut r = WindowedRate::new(Duration::from_secs(1));
+        r.record(at_ms(10));
+        assert_eq!(r.rates(at_ms(1000)), vec![1.0]);
+        assert_eq!(r.total(), 1);
+    }
+
+    #[test]
+    fn zero_elapsed_end_yields_no_complete_windows() {
+        let mut r = WindowedRate::new(Duration::from_secs(1));
+        r.record(at_ms(10));
+        assert!(r.rates(SimTime::ZERO).is_empty());
+        assert_eq!(r.mean_rate(SimTime::ZERO), 0.0);
+        assert_eq!(r.fraction_meeting(SimTime::ZERO, 30.0), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_single_counter() {
+        let mut all = WindowedRate::new(Duration::from_millis(500));
+        let mut a = WindowedRate::new(Duration::from_millis(500));
+        let mut b = WindowedRate::new(Duration::from_millis(500));
+        for ms in [0u64, 100, 400, 600, 900, 1600, 2400] {
+            all.record(at_ms(ms));
+            if ms % 200 == 0 {
+                a.record(at_ms(ms));
+            } else {
+                b.record(at_ms(ms));
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), all.total());
+        assert_eq!(a.rates(at_ms(2500)), all.rates(at_ms(2500)));
+    }
+
+    #[test]
+    fn merge_with_empty_and_shorter_series() {
+        let mut a = WindowedRate::new(Duration::from_secs(1));
+        a.record(at_ms(100));
+        a.record(at_ms(2100));
+        let empty = WindowedRate::new(Duration::from_secs(1));
+        a.merge(&empty);
+        assert_eq!(a.rates(at_ms(3000)), vec![1.0, 0.0, 1.0]);
+        // Merging a longer series into a shorter one grows the grid.
+        let mut short = WindowedRate::new(Duration::from_secs(1));
+        short.record(at_ms(500));
+        short.merge(&a);
+        assert_eq!(short.rates(at_ms(3000)), vec![2.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different window lengths")]
+    fn merge_mismatched_windows_panics() {
+        let mut a = WindowedRate::new(Duration::from_secs(1));
+        let b = WindowedRate::new(Duration::from_millis(200));
+        a.merge(&b);
     }
 }

@@ -115,6 +115,7 @@ pub fn run_local(cfg: &ExperimentConfig) -> Report {
         encode_fps: 0.0,
         client_fps: display_rate.mean_rate(measured_end),
         client_fps_stats: client_summary.box_stats(),
+        client_fps_windows: display_rate.rates(measured_end),
         fps_gap_avg: 0.0,
         fps_gap_max: 0.0,
         mtp_ms,

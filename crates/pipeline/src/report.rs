@@ -19,6 +19,10 @@ pub struct Report {
     pub client_fps: f64,
     /// Per-window client FPS distribution (Figure 10 box stats).
     pub client_fps_stats: BoxStats,
+    /// Raw per-window client FPS samples, in window order. Fleet
+    /// aggregation builds mergeable CDFs from these; a serial run can
+    /// ignore them.
+    pub client_fps_windows: Vec<f64>,
     /// Average windowed FPS gap: rendering minus client (Table 2).
     pub fps_gap_avg: f64,
     /// Maximum windowed FPS gap (Table 2).

@@ -1062,6 +1062,7 @@ impl Sim {
             encode_fps: self.encode_rate.mean_rate(measured_end),
             client_fps: self.gap.consumer.mean_rate(measured_end),
             client_fps_stats: client_summary.box_stats(),
+            client_fps_windows: self.gap.consumer.rates(measured_end),
             fps_gap_avg: gap_stats.avg,
             fps_gap_max: gap_stats.max,
             mtp_ms: self.mtp_ms,

@@ -72,4 +72,89 @@ impl RuntimeReport {
     pub fn bitrate_mbps(&self) -> f64 {
         self.bytes_sent as f64 * 8.0 / self.elapsed_secs.max(1e-9) / 1e6
     }
+
+    /// Folds another run's measurements into this one, producing the
+    /// report a fleet of concurrent runs would show in aggregate: frame
+    /// and byte counters add, latency/pacing samples merge, the elapsed
+    /// span is the longest of the two (runs overlap in time rather than
+    /// concatenate), and the PSNR mean is weighted by displayed frames.
+    pub fn absorb(&mut self, other: &RuntimeReport) {
+        let (w_self, w_other) = (self.frames_displayed as f64, other.frames_displayed as f64);
+        if w_self + w_other > 0.0 {
+            // Lossless runs report infinite PSNR; any lossy participant
+            // pulls the weighted mean back to a finite value.
+            self.mean_psnr_db = if self.mean_psnr_db.is_infinite() && other.mean_psnr_db.is_infinite()
+            {
+                f64::INFINITY
+            } else if self.mean_psnr_db.is_infinite() {
+                other.mean_psnr_db
+            } else if other.mean_psnr_db.is_infinite() {
+                self.mean_psnr_db
+            } else {
+                (self.mean_psnr_db * w_self + other.mean_psnr_db * w_other) / (w_self + w_other)
+            };
+        }
+        self.elapsed_secs = self.elapsed_secs.max(other.elapsed_secs);
+        self.frames_rendered += other.frames_rendered;
+        self.frames_encoded += other.frames_encoded;
+        self.frames_displayed += other.frames_displayed;
+        self.frames_dropped += other.frames_dropped;
+        self.priority_frames += other.priority_frames;
+        self.inputs += other.inputs;
+        self.mtp_ms.merge(&other.mtp_ms);
+        self.display_intervals_ms.merge(&other.display_intervals_ms);
+        self.bytes_sent += other.bytes_sent;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(frames: u64, psnr: f64) -> RuntimeReport {
+        RuntimeReport {
+            elapsed_secs: 2.0,
+            frames_rendered: frames + 4,
+            frames_encoded: frames + 2,
+            frames_displayed: frames,
+            frames_dropped: 4,
+            priority_frames: 1,
+            inputs: 3,
+            mtp_ms: [10.0, 20.0].into_iter().collect(),
+            display_intervals_ms: [16.0, 17.0].into_iter().collect(),
+            bytes_sent: 1000,
+            mean_psnr_db: psnr,
+        }
+    }
+
+    #[test]
+    fn absorb_adds_counters_and_merges_samples() {
+        let mut a = report(10, 40.0);
+        a.elapsed_secs = 3.0;
+        let b = report(30, 40.0);
+        a.absorb(&b);
+        assert_eq!(a.frames_displayed, 40);
+        assert_eq!(a.frames_rendered, 48);
+        assert_eq!(a.bytes_sent, 2000);
+        assert_eq!(a.elapsed_secs, 3.0);
+        assert_eq!(a.mtp_ms.count(), 4);
+        assert_eq!(a.display_intervals_ms.count(), 4);
+    }
+
+    #[test]
+    fn absorb_weights_psnr_by_displayed_frames() {
+        let mut a = report(10, 30.0);
+        a.absorb(&report(30, 50.0));
+        assert!((a.mean_psnr_db - 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_handles_lossless_psnr() {
+        let mut a = report(10, f64::INFINITY);
+        a.absorb(&report(10, 42.0));
+        assert_eq!(a.mean_psnr_db, 42.0);
+        let mut b = report(10, f64::INFINITY);
+        b.absorb(&report(10, f64::INFINITY));
+        assert_eq!(b.mean_psnr_db, f64::INFINITY);
+    }
 }

@@ -17,4 +17,28 @@ cargo bench --no-run --workspace
 echo "== odr-check: lint + swap-protocol model checker =="
 cargo run --release -q -p odr-check -- --deny-warnings --verbose
 
+echo "== fleet determinism differential (1 thread vs all cores) =="
+# The fleet engine promises byte-identical reports regardless of worker
+# count. Exercise that promise end-to-end through the odrsim CLI: same
+# fleet, one thread vs every core, outputs must be bit-for-bit equal.
+threads="$(nproc 2>/dev/null || echo 8)"
+out_serial="$(mktemp)"
+out_parallel="$(mktemp)"
+trap 'rm -f "$out_serial" "$out_parallel"' EXIT
+cargo run --release -q -p odr-bench --bin odrsim -- \
+    --benchmark IM --regulation odr --target 60 --duration 5 --seed 42 \
+    --sessions 12 --threads 1 >"$out_serial" 2>/dev/null
+cargo run --release -q -p odr-bench --bin odrsim -- \
+    --benchmark IM --regulation odr --target 60 --duration 5 --seed 42 \
+    --sessions 12 --threads "$threads" >"$out_parallel" 2>/dev/null
+if ! cmp -s "$out_serial" "$out_parallel"; then
+    echo "fleet determinism differential FAILED: 1 thread vs $threads threads differ" >&2
+    diff "$out_serial" "$out_parallel" | head -20 >&2
+    exit 1
+fi
+echo "fleet report identical on 1 vs $threads thread(s)"
+
+echo "== fleet scaling (64 sessions, 1 vs 8 threads) =="
+cargo run --release -q -p odr-bench --bin fleet_scaling
+
 echo "ci: all green"

@@ -16,10 +16,16 @@
 //!   and case index, so runs are bit-for-bit reproducible. Set
 //!   `PROPTEST_SEED` to explore a different universe, `PROPTEST_CASES`
 //!   to change the number of cases per test (default 48).
-//! * `.proptest-regressions` files are ignored.
+//! * **`.proptest-regressions` files are not replayed automatically.**
+//!   The shim's RNG cannot consume upstream seed hashes, but the files
+//!   also record the shrunk argument *values*; the [`regressions`]
+//!   module parses them so a plain `#[test]` can replay every persisted
+//!   failure explicitly (see `tests/properties.rs`).
 
 use std::marker::PhantomData;
 use std::ops::Range;
+
+pub mod regressions;
 
 /// Why a generated test case did not pass.
 #[derive(Debug)]

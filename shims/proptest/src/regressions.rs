@@ -1,0 +1,156 @@
+//! Parser for proptest's `.proptest-regressions` seed files.
+//!
+//! Real proptest persists every failure it finds as a line
+//!
+//! ```text
+//! cc <hex-seed> # shrinks to name = value, name = value, ...
+//! ```
+//!
+//! and silently replays those seeds before generating novel cases. The
+//! shim cannot replay the *seed* (its RNG differs from upstream's), but
+//! the comment records the fully shrunk **values**, which is all a
+//! replay needs. This module parses those values so a plain `#[test]`
+//! can re-run every checked-in failure case explicitly:
+//!
+//! ```
+//! use proptest::regressions;
+//!
+//! let cases = regressions::parse(
+//!     "cc deadbeef # shrinks to seed = 42, fast = false",
+//! );
+//! assert_eq!(cases.len(), 1);
+//! assert_eq!(cases[0].get_parsed::<u64>("seed"), Some(42));
+//! assert_eq!(cases[0].get_parsed::<bool>("fast"), Some(false));
+//! ```
+//!
+//! Values are treated as comma-free scalar tokens (ints, floats, bools),
+//! which covers everything proptest writes for primitive strategies; a
+//! binding whose value contains `,` would be truncated at the comma.
+
+use std::path::Path;
+use std::str::FromStr;
+
+/// One persisted failure: the seed hash and the shrunk argument values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegressionCase {
+    /// The upstream seed hash (informational only — the shim's RNG
+    /// cannot consume it).
+    pub hash: String,
+    /// `name = value` bindings, in file order.
+    bindings: Vec<(String, String)>,
+}
+
+impl RegressionCase {
+    /// Returns the raw text of the binding named `name`.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.bindings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Returns the binding named `name` parsed as `T`.
+    #[must_use]
+    pub fn get_parsed<T: FromStr>(&self, name: &str) -> Option<T> {
+        self.get(name).and_then(|v| v.parse().ok())
+    }
+
+    /// The binding names, in file order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.bindings.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+/// Parses the regression-file format. Blank lines and `#` comment lines
+/// are skipped; malformed `cc` lines (no `# shrinks to` marker, or no
+/// parseable bindings) are skipped too, matching upstream's tolerance
+/// for hand-edited files.
+#[must_use]
+pub fn parse(text: &str) -> Vec<RegressionCase> {
+    let mut cases = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("cc ") else {
+            continue;
+        };
+        let Some((hash, comment)) = rest.split_once('#') else {
+            continue;
+        };
+        let Some(args) = comment.trim().strip_prefix("shrinks to") else {
+            continue;
+        };
+        let bindings: Vec<(String, String)> = args
+            .split(',')
+            .filter_map(|pair| {
+                let (name, value) = pair.split_once('=')?;
+                let (name, value) = (name.trim(), value.trim());
+                if name.is_empty() || value.is_empty() {
+                    return None;
+                }
+                Some((name.to_string(), value.to_string()))
+            })
+            .collect();
+        if bindings.is_empty() {
+            continue;
+        }
+        cases.push(RegressionCase {
+            hash: hash.trim().to_string(),
+            bindings,
+        });
+    }
+    cases
+}
+
+/// Loads and parses a regression file; a missing file is an empty list
+/// (same as upstream: no persisted failures yet).
+#[must_use]
+pub fn load(path: &Path) -> Vec<RegressionCase> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse(&text),
+        Err(_) => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FILE: &str = "\
+# Seeds for failure cases proptest has generated in the past.
+#
+cc 4ec3b7f8207eb059 # shrinks to seed = 11609127288808334, bench_idx = 0, gce = false
+cc 19308f2e9f3ff8f1 # shrinks to x = -3.5
+not a cc line
+cc deadbeef
+cc cafebabe # shrinks to
+";
+
+    #[test]
+    fn parses_well_formed_entries_and_skips_the_rest() {
+        let cases = parse(FILE);
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[0].hash, "4ec3b7f8207eb059");
+        assert_eq!(cases[0].names(), vec!["seed", "bench_idx", "gce"]);
+        assert_eq!(
+            cases[0].get_parsed::<u64>("seed"),
+            Some(11_609_127_288_808_334)
+        );
+        assert_eq!(cases[0].get_parsed::<usize>("bench_idx"), Some(0));
+        assert_eq!(cases[0].get_parsed::<bool>("gce"), Some(false));
+        assert_eq!(cases[1].get_parsed::<f64>("x"), Some(-3.5));
+    }
+
+    #[test]
+    fn missing_binding_is_none() {
+        let cases = parse(FILE);
+        assert_eq!(cases[0].get("nope"), None);
+        assert_eq!(cases[0].get_parsed::<u64>("gce"), None); // wrong type
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        assert!(load(Path::new("/nonexistent/there.proptest-regressions")).is_empty());
+    }
+}

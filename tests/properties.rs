@@ -5,7 +5,7 @@
 //! fully offline. See shims/README.md.
 #![cfg(feature = "proptest-tests")]
 
-use cloud3d_odr::metrics::{Summary, WindowedRate};
+use cloud3d_odr::metrics::{Cdf, Summary, WindowedRate};
 use cloud3d_odr::netsim::{Link, LinkParams};
 use cloud3d_odr::odr::queue::{FrameQueue, FullPolicy, Publish};
 use cloud3d_odr::odr::FpsRegulator;
@@ -290,40 +290,98 @@ proptest! {
         spec_idx in 0usize..7,
         gce in any::<bool>(),
     ) {
-        use cloud3d_odr::prelude::*;
-        let benchmark = Benchmark::ALL[bench_idx];
-        let platform = if gce { Platform::Gce } else { Platform::PrivateCloud };
-        let spec = RegulationSpec::evaluation_set(60.0)[spec_idx];
-        let cfg = ExperimentConfig::new(
-            Scenario::new(benchmark, Resolution::R720p, platform),
-            spec,
-        )
-        .with_duration(Duration::from_secs(6))
-        .with_seed(seed);
-        let r = run_experiment(&cfg);
+        check_pipeline_conservation(seed, bench_idx, spec_idx, gce)?;
+    }
 
-        // Rendered/displayed are counted post-warm-up; under congestion,
-        // frames rendered during the 5 s warm-up can still be crossing the
-        // network queue and display afterwards (up to ~warm-up × drain).
-        prop_assert!(r.frames_displayed <= r.frames_rendered + 400);
-        prop_assert!(r.fps_gap_avg >= 0.0);
-        prop_assert!(r.fps_gap_max >= r.fps_gap_avg);
-        prop_assert!(r.client_fps >= 0.0 && r.client_fps < 400.0);
-        // No frame silently vanishes: everything rendered is displayed,
-        // dropped (counter includes warm-up-era drops, making this a
-        // conservative bound), or among the handful in flight at the end.
-        let accounted = r.frames_displayed + r.frames_dropped;
-        let in_flight_bound = 40 + r.frames_rendered / 10;
-        prop_assert!(
-            r.frames_rendered <= accounted + in_flight_bound,
-            "lost frames: rendered {} vs accounted {accounted}",
-            r.frames_rendered
+    /// `Cdf::merge` is a canonical multiset union: it agrees bit-for-bit
+    /// with building one CDF from the concatenated samples, and is
+    /// exactly commutative and associative for any grouping.
+    #[test]
+    fn cdf_merge_is_exact_multiset_union(
+        xs in prop::collection::vec(-1e9f64..1e9, 0..200),
+        ys in prop::collection::vec(-1e9f64..1e9, 0..200),
+        zs in prop::collection::vec(-1e9f64..1e9, 0..200),
+    ) {
+        let bits = |c: &Cdf| -> Vec<u64> { c.samples().iter().map(|x| x.to_bits()).collect() };
+        let (a, b, c) = (
+            Cdf::from_samples(xs.iter().copied()),
+            Cdf::from_samples(ys.iter().copied()),
+            Cdf::from_samples(zs.iter().copied()),
         );
-        // Without PriorityFrame there are no priority frames.
-        if matches!(spec, RegulationSpec::NoReg | RegulationSpec::Interval(_)
-            | RegulationSpec::Rvs { .. })
-        {
-            prop_assert_eq!(r.priority_frames, 0);
+        let direct = Cdf::from_samples(xs.iter().chain(&ys).copied());
+        prop_assert_eq!(bits(&a.merge(&b)), bits(&direct));
+        prop_assert_eq!(bits(&a.merge(&b)), bits(&b.merge(&a)));
+        prop_assert_eq!(bits(&a.merge(&b).merge(&c)), bits(&a.merge(&b.merge(&c))));
+    }
+
+    /// Windowed FPS under merge: splitting one event stream across
+    /// per-session counters and merging them reports exactly the same
+    /// windowed rates as one counter that saw every event.
+    #[test]
+    fn windowed_fps_is_merge_invariant(
+        gaps_ms in prop::collection::vec(1u64..200, 1..300),
+        window_ms in 100u64..2000,
+        ways in 2usize..5,
+    ) {
+        let window = Duration::from_millis(window_ms);
+        let mut whole = WindowedRate::new(window);
+        let mut parts: Vec<WindowedRate> = (0..ways).map(|_| WindowedRate::new(window)).collect();
+        let mut t = SimTime::ZERO;
+        for (i, gap) in gaps_ms.iter().enumerate() {
+            t += Duration::from_millis(*gap);
+            whole.record(t);
+            parts[i % ways].record(t);
+        }
+        let mut merged = parts.remove(0);
+        for p in &parts {
+            merged.merge(p);
+        }
+        let end = t + window;
+        let (whole_rates, merged_rates) = (whole.rates(end), merged.rates(end));
+        prop_assert_eq!(whole_rates.len(), merged_rates.len());
+        for (w, m) in whole_rates.iter().zip(&merged_rates) {
+            prop_assert_eq!(w.to_bits(), m.to_bits());
+        }
+        prop_assert_eq!(whole.mean_rate(end).to_bits(), merged.mean_rate(end).to_bits());
+    }
+
+    /// PriorityFrame flush never reorders surviving frames: whatever
+    /// interleaving of publishes, pops and flushes occurs, the frames the
+    /// consumer actually receives arrive in strictly increasing publish
+    /// order.
+    #[test]
+    fn flush_never_reorders_surviving_frames(
+        capacity in 1usize..6,
+        overwrite in any::<bool>(),
+        ops in prop::collection::vec(prop_oneof![Just(0u8), Just(0), Just(1), Just(2)], 1..300),
+    ) {
+        let policy = if overwrite { FullPolicy::Overwrite } else { FullPolicy::Block };
+        let mut q: FrameQueue<u64> = FrameQueue::new(capacity, policy);
+        let mut next = 0u64;
+        let mut delivered: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                0 => {
+                    let _ = q.publish(next);
+                    next += 1;
+                }
+                1 => {
+                    if let Some(f) = q.pop() {
+                        delivered.push(f);
+                    }
+                }
+                _ => {
+                    let _ = q.flush_obsolete();
+                }
+            }
+        }
+        for w in delivered.windows(2) {
+            prop_assert!(
+                w[0] < w[1],
+                "frame {} delivered after {}",
+                w[1],
+                w[0]
+            );
         }
     }
 
@@ -337,5 +395,79 @@ proptest! {
         prop_assert_eq!(u - dur, t);
         prop_assert_eq!(u.saturating_since(t), dur);
         prop_assert_eq!(t.saturating_since(u), Duration::ZERO);
+    }
+}
+
+/// The pipeline-conservation property body, callable both from the
+/// strategy-driven test above and from the regression replay below.
+fn check_pipeline_conservation(
+    seed: u64,
+    bench_idx: usize,
+    spec_idx: usize,
+    gce: bool,
+) -> Result<(), TestCaseError> {
+    use cloud3d_odr::prelude::*;
+    let benchmark = Benchmark::ALL[bench_idx];
+    let platform = if gce { Platform::Gce } else { Platform::PrivateCloud };
+    let spec = RegulationSpec::evaluation_set(60.0)[spec_idx];
+    let cfg = ExperimentConfig::new(
+        Scenario::new(benchmark, Resolution::R720p, platform),
+        spec,
+    )
+    .with_duration(Duration::from_secs(6))
+    .with_seed(seed);
+    let r = run_experiment(&cfg);
+
+    // Rendered/displayed are counted post-warm-up; under congestion,
+    // frames rendered during the 5 s warm-up can still be crossing the
+    // network queue and display afterwards (up to ~warm-up × drain).
+    prop_assert!(r.frames_displayed <= r.frames_rendered + 400);
+    prop_assert!(r.fps_gap_avg >= 0.0);
+    prop_assert!(r.fps_gap_max >= r.fps_gap_avg);
+    prop_assert!(r.client_fps >= 0.0 && r.client_fps < 400.0);
+    // No frame silently vanishes: everything rendered is displayed,
+    // dropped (counter includes warm-up-era drops, making this a
+    // conservative bound), or among the handful in flight at the end.
+    let accounted = r.frames_displayed + r.frames_dropped;
+    let in_flight_bound = 40 + r.frames_rendered / 10;
+    prop_assert!(
+        r.frames_rendered <= accounted + in_flight_bound,
+        "lost frames: rendered {} vs accounted {accounted}",
+        r.frames_rendered
+    );
+    // Without PriorityFrame there are no priority frames.
+    if matches!(spec, RegulationSpec::NoReg | RegulationSpec::Interval(_)
+        | RegulationSpec::Rvs { .. })
+    {
+        prop_assert_eq!(r.priority_frames, 0);
+    }
+    Ok(())
+}
+
+/// Replays every failure persisted in `tests/properties.proptest-regressions`.
+///
+/// The shim's RNG cannot consume upstream seed hashes, so the seeds in
+/// that file are never replayed implicitly; instead this test parses the
+/// shrunk argument *values* out of each entry and re-runs the property
+/// body on them directly. Adding a `cc` line to the file is enough to
+/// pin a new failure case — no code change required.
+#[test]
+fn replay_persisted_regressions() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/properties.proptest-regressions");
+    let cases = proptest::regressions::load(&path);
+    assert!(
+        !cases.is_empty(),
+        "expected persisted regression entries in {}",
+        path.display()
+    );
+    for case in &cases {
+        let seed: u64 = case.get_parsed("seed").expect("seed binding");
+        let bench_idx: usize = case.get_parsed("bench_idx").expect("bench_idx binding");
+        let spec_idx: usize = case.get_parsed("spec_idx").expect("spec_idx binding");
+        let gce: bool = case.get_parsed("gce").expect("gce binding");
+        check_pipeline_conservation(seed, bench_idx, spec_idx, gce).unwrap_or_else(|e| {
+            panic!("persisted regression cc {} failed again: {e:?}", case.hash)
+        });
     }
 }
