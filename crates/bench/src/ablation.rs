@@ -12,9 +12,10 @@ use crate::{pad, Settings};
 
 fn run(settings: &Settings, spec: RegulationSpec) -> Report {
     let scenario = Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud);
-    let cfg = ExperimentConfig::new(scenario, spec)
-        .with_duration(settings.duration)
-        .with_seed(settings.seed);
+    let cfg = ExperimentConfig::builder(scenario, spec)
+        .duration(settings.duration)
+        .seed(settings.seed)
+        .build();
     run_experiment(&cfg)
 }
 
@@ -139,10 +140,11 @@ pub fn ablation_display(settings: &Settings) -> String {
         ("FreeSync-144", ClientDisplay::FreeSync { max_hz: 144.0 }),
     ];
     for (label, display) in modes {
-        let cfg = ExperimentConfig::new(scenario, RegulationSpec::odr(FpsGoal::Max))
-            .with_duration(settings.duration)
-            .with_seed(settings.seed)
-            .with_display(display);
+        let cfg = ExperimentConfig::builder(scenario, RegulationSpec::odr(FpsGoal::Max))
+            .duration(settings.duration)
+            .seed(settings.seed)
+            .display(display)
+            .build();
         let r = odr_pipeline::run_experiment(&cfg);
         out.push_str(&format!(
             "{} {:>9.1} {:>13.1} {:>13.3} {:>14}

@@ -13,23 +13,20 @@
 
 use std::time::Instant;
 
-use odr_core::{FpsGoal, RegulationSpec};
-use odr_fleet::{run_fleet, FleetConfig};
-use odr_pipeline::ExperimentConfig;
-use odr_simtime::Duration;
-use odr_workload::{Benchmark, Platform, Resolution, Scenario};
+use cloud3d_odr::prelude::*;
 
 const SESSIONS: u32 = 64;
 const PARALLEL_THREADS: usize = 8;
 
 fn timed_run(threads: usize) -> (String, f64) {
-    let base = ExperimentConfig::new(
+    let cfg = FleetConfig::builder(
         Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud),
         RegulationSpec::odr(FpsGoal::Target(60.0)),
     )
-    .with_duration(Duration::from_secs(5))
-    .with_seed(42);
-    let cfg = FleetConfig::new(base, SESSIONS).with_threads(threads);
+    .base(|b| b.duration(Duration::from_secs(5)).seed(42))
+    .sessions(SESSIONS)
+    .threads(threads)
+    .build();
     let start = Instant::now();
     let report = run_fleet(&cfg);
     (report.to_text(), start.elapsed().as_secs_f64())

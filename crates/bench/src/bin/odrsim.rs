@@ -17,6 +17,10 @@
 //! * `--display immediate|vsync:<hz>|freesync:<hz>` \[immediate\]
 //! * `--no-priority` — disable PriorityFrame (ODR only)
 //! * `--trace` — append the per-frame trace as CSV after the report
+//! * `--trace-out <path>` — record structured observability events and
+//!   write them to `<path>` after the run
+//! * `--trace-format jsonl|chrome` — trace file format \[jsonl\];
+//!   `chrome` loads in Perfetto / `chrome://tracing`
 //! * `--sessions <n>` — simulate a fleet of n sessions (seeds derived
 //!   per session) and print the aggregate fleet report instead
 //! * `--threads <t>` — fleet worker threads \[1\]; never changes output
@@ -24,20 +28,18 @@
 //! Fleet mode prints the deterministic [`odr_fleet::FleetReport`] text
 //! to stdout (byte-identical for any `--threads`) and wall-clock timing
 //! to stderr, so `odrsim ... > a.txt` output can be `cmp`ed across
-//! thread counts while still seeing the speedup.
+//! thread counts while still seeing the speedup. With `--trace-out`,
+//! fleet mode writes the fleet's *folded per-stage counters* (raw event
+//! logs do not survive the per-session reduction).
 
-use odr_core::{FpsGoal, OdrOptions, RegulationSpec};
-use odr_fleet::{run_fleet, FleetConfig};
-use odr_pipeline::{run_experiment, ClientDisplay, ExperimentConfig};
-use odr_simtime::Duration;
-use odr_workload::{Benchmark, Platform, Resolution, Scenario};
+use cloud3d_odr::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let config = match parse(&args) {
         Ok(config) => config,
-        Err(msg) => {
-            eprintln!("error: {msg}");
+        Err(err) => {
+            eprintln!("error: {err}");
             eprintln!("run with --help for usage");
             std::process::exit(2);
         }
@@ -64,6 +66,16 @@ fn main() {
             fleet_cfg.effective_threads(),
             elapsed
         );
+        if let Some(path) = &config.trace_out {
+            // Only the index-order-folded counters survive the fleet
+            // reduction; export them as a counters-only report.
+            let obs = ObsReport {
+                enabled: true,
+                counters: fleet.obs.clone(),
+                ..ObsReport::default()
+            };
+            write_trace(path, config.trace_format, &obs);
+        }
         return;
     }
     let report = run_experiment(&experiment);
@@ -97,10 +109,27 @@ fn main() {
         report.frames_rendered, report.frames_displayed, report.frames_dropped
     );
     println!("priority frames     {:>10}", report.priority_frames);
+    if let Some(path) = &config.trace_out {
+        write_trace(path, config.trace_format, &report.obs);
+    }
     if config.trace {
         println!();
         print!("{}", odr_pipeline::export::traces_to_csv(&report.traces));
     }
+}
+
+/// Renders `obs` in the selected format and writes it to `path`; exits
+/// with status 1 on an I/O failure (the report already printed).
+fn write_trace(path: &str, format: TraceFormat, obs: &ObsReport) {
+    let text = match format {
+        TraceFormat::Jsonl => to_jsonl(obs),
+        TraceFormat::Chrome => to_chrome_trace(obs),
+    };
+    if let Err(err) = std::fs::write(path, text).map_err(|e| OdrError::io(path, e)) {
+        eprintln!("error: {err}");
+        std::process::exit(1);
+    }
+    eprintln!("trace: {} events -> {path}", obs.events.len());
 }
 
 const USAGE: &str = "odrsim — simulate one cloud-3D configuration
@@ -114,18 +143,30 @@ const USAGE: &str = "odrsim — simulate one cloud-3D configuration
   --display immediate|vsync:<hz>|freesync:<hz>  [immediate]
   --no-priority                        disable PriorityFrame (ODR)
   --trace                              append per-frame trace CSV
+  --trace-out <path>                   write observability trace to <path>
+  --trace-format jsonl|chrome          trace file format        [jsonl]
   --sessions <n>                       fleet mode: n sessions, aggregate report
   --threads <t>                        fleet worker threads         [1]";
 
+/// Observability trace file formats `--trace-format` accepts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TraceFormat {
+    Jsonl,
+    Chrome,
+}
+
+#[derive(Debug)]
 struct Parsed {
     help: bool,
     trace: bool,
+    trace_out: Option<String>,
+    trace_format: TraceFormat,
     sessions: Option<u32>,
     threads: usize,
     experiment: ExperimentConfig,
 }
 
-fn parse(args: &[String]) -> Result<Parsed, String> {
+fn parse(args: &[String]) -> OdrResult<Parsed> {
     let mut benchmark = Benchmark::InMind;
     let mut resolution = Resolution::R720p;
     let mut platform = Platform::PrivateCloud;
@@ -137,13 +178,16 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
     let mut priority = true;
     let mut help = false;
     let mut trace = false;
+    let mut trace_out: Option<String> = None;
+    let mut trace_format: Option<TraceFormat> = None;
     let mut sessions: Option<u32> = None;
     let mut threads = 1usize;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| -> Result<&String, String> {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
+        let mut value = |name: &str| -> OdrResult<&String> {
+            it.next()
+                .ok_or_else(|| OdrError::arg(format!("{name} needs a value")))
         };
         match arg.as_str() {
             "--help" | "-h" => help = true,
@@ -152,13 +196,13 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
                 benchmark = Benchmark::ALL
                     .into_iter()
                     .find(|b| b.short().eq_ignore_ascii_case(v))
-                    .ok_or_else(|| format!("unknown benchmark {v}"))?;
+                    .ok_or_else(|| OdrError::arg(format!("unknown benchmark {v}")))?;
             }
             "--resolution" => {
                 resolution = match value("--resolution")?.as_str() {
                     "720p" => Resolution::R720p,
                     "1080p" => Resolution::R1080p,
-                    v => return Err(format!("unknown resolution {v}")),
+                    v => return Err(OdrError::arg(format!("unknown resolution {v}"))),
                 };
             }
             "--platform" => {
@@ -166,7 +210,7 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
                     "priv" => Platform::PrivateCloud,
                     "gce" => Platform::Gce,
                     "local" => Platform::NonCloud,
-                    v => return Err(format!("unknown platform {v}")),
+                    v => return Err(OdrError::arg(format!("unknown platform {v}"))),
                 };
             }
             "--regulation" => regulation = value("--regulation")?.to_lowercase(),
@@ -175,9 +219,11 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
                 goal = if v.eq_ignore_ascii_case("max") {
                     FpsGoal::Max
                 } else {
-                    let fps: f64 = v.parse().map_err(|_| format!("bad target {v}"))?;
+                    let fps: f64 = v
+                        .parse()
+                        .map_err(|_| OdrError::arg(format!("bad target {v}")))?;
                     if fps <= 0.0 {
-                        return Err("target must be positive".to_owned());
+                        return Err(OdrError::arg("target must be positive"));
                     }
                     FpsGoal::Target(fps)
                 };
@@ -185,12 +231,12 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
             "--duration" => {
                 duration = value("--duration")?
                     .parse()
-                    .map_err(|_| "bad duration".to_owned())?;
+                    .map_err(|_| OdrError::arg("bad duration"))?;
             }
             "--seed" => {
                 seed = value("--seed")?
                     .parse()
-                    .map_err(|_| "bad seed".to_owned())?;
+                    .map_err(|_| OdrError::arg("bad seed"))?;
             }
             "--display" => {
                 let v = value("--display")?;
@@ -198,23 +244,34 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
             }
             "--no-priority" => priority = false,
             "--trace" => trace = true,
+            "--trace-out" => trace_out = Some(value("--trace-out")?.clone()),
+            "--trace-format" => {
+                trace_format = Some(match value("--trace-format")?.as_str() {
+                    "jsonl" => TraceFormat::Jsonl,
+                    "chrome" => TraceFormat::Chrome,
+                    v => return Err(OdrError::arg(format!("unknown trace format {v}"))),
+                });
+            }
             "--sessions" => {
                 sessions = Some(
                     value("--sessions")?
                         .parse()
-                        .map_err(|_| "bad session count".to_owned())?,
+                        .map_err(|_| OdrError::arg("bad session count"))?,
                 );
             }
             "--threads" => {
                 threads = value("--threads")?
                     .parse()
-                    .map_err(|_| "bad thread count".to_owned())?;
+                    .map_err(|_| OdrError::arg("bad thread count"))?;
                 if threads == 0 {
-                    return Err("need at least one thread".to_owned());
+                    return Err(OdrError::arg("need at least one thread"));
                 }
             }
-            other => return Err(format!("unknown option {other}")),
+            other => return Err(OdrError::arg(format!("unknown option {other}"))),
         }
+    }
+    if trace_format.is_some() && trace_out.is_none() {
+        return Err(OdrError::arg("--trace-format needs --trace-out"));
     }
 
     let spec = match regulation.as_str() {
@@ -228,37 +285,44 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
                 ..OdrOptions::default()
             },
         },
-        v => return Err(format!("unknown regulation {v}")),
+        v => return Err(OdrError::arg(format!("unknown regulation {v}"))),
     };
 
-    let experiment = ExperimentConfig::new(Scenario::new(benchmark, resolution, platform), spec)
-        .with_duration(Duration::from_secs(duration))
-        .with_seed(seed)
-        .with_display(display);
+    let experiment =
+        ExperimentConfig::builder(Scenario::new(benchmark, resolution, platform), spec)
+            .duration(Duration::from_secs(duration))
+            .seed(seed)
+            .display(display)
+            .obs(trace_out.is_some())
+            .build();
     Ok(Parsed {
         help,
         trace,
+        trace_out,
+        trace_format: trace_format.unwrap_or(TraceFormat::Jsonl),
         sessions,
         threads,
         experiment,
     })
 }
 
-fn parse_display(v: &str) -> Result<ClientDisplay, String> {
+fn parse_display(v: &str) -> OdrResult<ClientDisplay> {
     if v == "immediate" {
         return Ok(ClientDisplay::Immediate);
     }
     let (kind, hz) = v
         .split_once(':')
-        .ok_or_else(|| format!("bad display spec {v}"))?;
-    let hz: f64 = hz.parse().map_err(|_| format!("bad refresh rate in {v}"))?;
+        .ok_or_else(|| OdrError::arg(format!("bad display spec {v}")))?;
+    let hz: f64 = hz
+        .parse()
+        .map_err(|_| OdrError::arg(format!("bad refresh rate in {v}")))?;
     if hz <= 0.0 {
-        return Err("refresh rate must be positive".to_owned());
+        return Err(OdrError::arg("refresh rate must be positive"));
     }
     match kind {
         "vsync" => Ok(ClientDisplay::VSync { refresh_hz: hz }),
         "freesync" => Ok(ClientDisplay::FreeSync { max_hz: hz }),
-        _ => Err(format!("unknown display kind {kind}")),
+        _ => Err(OdrError::arg(format!("unknown display kind {kind}"))),
     }
 }
 
@@ -311,6 +375,26 @@ mod tests {
     }
 
     #[test]
+    fn trace_out_enables_observability() {
+        let p = parse(&argv("--trace-out t.jsonl")).expect("parse");
+        assert_eq!(p.trace_out.as_deref(), Some("t.jsonl"));
+        assert_eq!(p.trace_format, TraceFormat::Jsonl);
+        assert!(p.experiment.obs, "capture must be on when exporting");
+        let d = parse(&[]).expect("defaults");
+        assert!(d.trace_out.is_none());
+        assert!(!d.experiment.obs);
+    }
+
+    #[test]
+    fn trace_format_parses_and_needs_trace_out() {
+        let p = parse(&argv("--trace-out t.json --trace-format chrome")).expect("parse");
+        assert_eq!(p.trace_format, TraceFormat::Chrome);
+        assert!(parse(&argv("--trace-out t.json --trace-format svg")).is_err());
+        let err = parse(&argv("--trace-format chrome")).expect_err("must fail");
+        assert!(err.to_string().contains("--trace-out"), "{err}");
+    }
+
+    #[test]
     fn bad_values_error() {
         assert!(parse(&argv("--benchmark nope")).is_err());
         assert!(parse(&argv("--target -5")).is_err());
@@ -319,6 +403,12 @@ mod tests {
         assert!(parse(&argv("--duration")).is_err());
         assert!(parse(&argv("--sessions lots")).is_err());
         assert!(parse(&argv("--threads 0")).is_err());
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let err = parse(&argv("--bogus")).expect_err("must fail");
+        assert!(matches!(err, OdrError::InvalidArg { .. }));
     }
 
     #[test]

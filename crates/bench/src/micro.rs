@@ -17,17 +17,19 @@ fn priv720(benchmark: Benchmark) -> Scenario {
 }
 
 fn run(settings: &Settings, benchmark: Benchmark, spec: RegulationSpec) -> Report {
-    let cfg = ExperimentConfig::new(priv720(benchmark), spec)
-        .with_duration(settings.duration)
-        .with_seed(settings.seed);
+    let cfg = ExperimentConfig::builder(priv720(benchmark), spec)
+        .duration(settings.duration)
+        .seed(settings.seed)
+        .build();
     run_experiment(&cfg)
 }
 
 fn run_traced(settings: &Settings, benchmark: Benchmark, spec: RegulationSpec) -> Report {
-    let cfg = ExperimentConfig::new(priv720(benchmark), spec)
-        .with_duration(settings.duration)
-        .with_seed(settings.seed)
-        .with_trace();
+    let cfg = ExperimentConfig::builder(priv720(benchmark), spec)
+        .duration(settings.duration)
+        .seed(settings.seed)
+        .trace(true)
+        .build();
     run_experiment(&cfg)
 }
 

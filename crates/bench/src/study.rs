@@ -47,9 +47,10 @@ fn qos_sample(
         None => (Platform::NonCloud, RegulationSpec::NoReg),
     };
     let scenario = Scenario::new(benchmark, Resolution::R1080p, platform);
-    let cfg = ExperimentConfig::new(scenario, spec)
-        .with_duration(settings.duration)
-        .with_seed(settings.seed);
+    let cfg = ExperimentConfig::builder(scenario, spec)
+        .duration(settings.duration)
+        .seed(settings.seed)
+        .build();
     let r = run_experiment(&cfg);
     QoeSample {
         client_fps: r.client_fps,

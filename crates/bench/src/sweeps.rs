@@ -20,9 +20,10 @@ use crate::Settings;
 /// downlink capacity.
 fn run_at_bandwidth(settings: &Settings, spec: RegulationSpec, mbps: f64) -> Report {
     let scenario = Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::Gce);
-    let cfg = ExperimentConfig::new(scenario, spec)
-        .with_duration(settings.duration)
-        .with_seed(settings.seed);
+    let cfg = ExperimentConfig::builder(scenario, spec)
+        .duration(settings.duration)
+        .seed(settings.seed)
+        .build();
     // Override only the downlink capacity; keep the WAN latency/buffers.
     let link = LinkParams {
         bandwidth_bps: mbps * 1e6,
@@ -71,9 +72,10 @@ pub fn sweep_target(settings: &Settings) -> String {
     let mut out = String::from("Sweep: ODR target feasibility (IM, 720p private cloud)\n");
     out.push_str("target  client fps  windows met  verdict\n");
     for target in [30.0, 45.0, 60.0, 75.0, 90.0, 105.0, 120.0] {
-        let cfg = ExperimentConfig::new(scenario, RegulationSpec::odr(FpsGoal::Target(target)))
-            .with_duration(settings.duration)
-            .with_seed(settings.seed);
+        let cfg = ExperimentConfig::builder(scenario, RegulationSpec::odr(FpsGoal::Target(target)))
+            .duration(settings.duration)
+            .seed(settings.seed)
+            .build();
         let r = run_experiment(&cfg);
         let held = r.client_fps >= target - 1.0;
         out.push_str(&format!(
@@ -111,10 +113,11 @@ pub fn sweep_loss(settings: &Settings) -> String {
             ..scenario.downlink()
         };
         let run = |spec: RegulationSpec| {
-            let cfg = ExperimentConfig::new(scenario, spec)
-                .with_duration(settings.duration)
-                .with_seed(settings.seed)
-                .with_downlink_override(link);
+            let cfg = ExperimentConfig::builder(scenario, spec)
+                .duration(settings.duration)
+                .seed(settings.seed)
+                .downlink_override(link)
+                .build();
             run_experiment(&cfg)
         };
         let noreg = run(RegulationSpec::NoReg);

@@ -27,16 +27,24 @@ use std::path::{Path, PathBuf};
 /// Crates whose sources must stay seed-deterministic. `fleet` spawns
 /// OS threads but still belongs here: thread *scheduling* is made
 /// irrelevant by its index-order reduction, while wall-clock reads or
-/// OS randomness would genuinely break bit-identical reports.
+/// OS randomness would genuinely break bit-identical reports. `obs`
+/// belongs here too — exporters and counters must be byte-deterministic
+/// for golden traces — except for its one wall-clock module (see
+/// [`REALTIME_MODULES`]).
 pub const PURE_SIM_CRATES: &[&str] = &[
     "simtime", "core", "pipeline", "workload", "codec", "raster", "memsim", "netsim", "metrics",
-    "qoe", "fleet",
+    "qoe", "fleet", "obs",
 ];
 
 /// Directories under `crates/` that are exempt from every rule family
 /// except panic hygiene (the bench harness drives wall-clock runs; the
 /// check tool itself is not simulation code).
 const REALTIME_CRATES: &[&str] = &["runtime", "bench", "check"];
+
+/// Individual files inside pure-sim crates that are deliberately
+/// wall-clock: `MonoClock` is the realtime runtime's trace timestamp
+/// source and the only place `odr-obs` may read the OS clock.
+pub const REALTIME_MODULES: &[&str] = &["crates/obs/src/clock.rs"];
 
 /// All rule identifiers, used to validate allow entries.
 pub const ALL_RULES: &[&str] = &[
@@ -553,16 +561,16 @@ pub fn run_lints(root: &Path, allow: &Allowlist) -> LintReport {
         let krate = crate_of(&rel);
         let is_shim = rel.starts_with("shims/");
 
-        if PURE_SIM_CRATES.contains(&krate) {
+        if PURE_SIM_CRATES.contains(&krate) && !REALTIME_MODULES.contains(&rel.as_str()) {
             determinism_rules(&scan, allow, &mut report);
-        } else {
+        } else if !PURE_SIM_CRATES.contains(&krate) {
             debug_assert!(
                 is_shim || krate.is_empty() || REALTIME_CRATES.contains(&krate),
                 "unclassified crate {krate}: add it to PURE_SIM_CRATES or REALTIME_CRATES"
             );
         }
         panic_rules(&scan, allow, &mut report);
-        if krate == "core" {
+        if krate == "core" || krate == "obs" {
             doc_rules(&scan, allow, &mut report);
         }
     }
@@ -587,11 +595,11 @@ mod tests {
         let mut report = LintReport::default();
         let s = scan(path, src);
         let krate = crate_of(path);
-        if PURE_SIM_CRATES.contains(&krate) {
+        if PURE_SIM_CRATES.contains(&krate) && !REALTIME_MODULES.contains(&path) {
             determinism_rules(&s, allow, &mut report);
         }
         panic_rules(&s, allow, &mut report);
-        if krate == "core" {
+        if krate == "core" || krate == "obs" {
             doc_rules(&s, allow, &mut report);
         }
         report
@@ -632,6 +640,18 @@ mod tests {
         let rules: Vec<&str> = r.violations.iter().map(|v| v.rule).collect();
         assert!(rules.contains(&"determinism/instant"), "{rules:?}");
         assert!(rules.contains(&"determinism/sleep"), "{rules:?}");
+    }
+
+    #[test]
+    fn obs_is_a_pure_sim_crate_except_its_clock() {
+        // Exporters and counters must stay byte-deterministic...
+        let bad = "fn t() { let x = std::time::Instant::now(); }\n";
+        let r = lint_src("crates/obs/src/export.rs", bad, &Allowlist::default());
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "determinism/instant");
+        // ...but `MonoClock` is the one sanctioned wall-clock module.
+        let r = lint_src("crates/obs/src/clock.rs", bad, &Allowlist::default());
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
     }
 
     #[test]
@@ -677,6 +697,11 @@ mod tests {
         assert_eq!(r.violations[0].rule, "doc/missing");
         let r2 = lint_src("crates/raster/src/lib.rs", src, &Allowlist::default());
         assert!(r2.violations.is_empty());
+        // The observability crate is part of the documented public
+        // surface, so the doc rule covers it too.
+        let r3 = lint_src("crates/obs/src/event.rs", src, &Allowlist::default());
+        assert_eq!(r3.violations.len(), 1);
+        assert_eq!(r3.violations[0].rule, "doc/missing");
     }
 
     #[test]

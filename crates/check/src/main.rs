@@ -6,6 +6,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use odr_check::lint::{run_lints, Allowlist};
+use odr_core::{OdrError, OdrResult};
 use odr_check::model::{explore_dfs, explore_random, standard_suite};
 
 const USAGE: &str = "\
@@ -61,13 +62,13 @@ impl Default for Options {
     }
 }
 
-fn parse_args() -> Result<Options, String> {
+fn parse_args() -> OdrResult<Options> {
     let mut opts = Options::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
             args.next()
-                .ok_or_else(|| format!("{name} requires a value"))
+                .ok_or_else(|| OdrError::arg(format!("{name} requires a value")))
         };
         match arg.as_str() {
             "--lint-only" => opts.model = false,
@@ -78,33 +79,35 @@ fn parse_args() -> Result<Options, String> {
             "--seed" => {
                 opts.seed = value("--seed")?
                     .parse()
-                    .map_err(|_| "--seed wants an integer".to_string())?;
+                    .map_err(|_| OdrError::arg("--seed wants an integer"))?;
             }
             "--random" => {
                 opts.random = value("--random")?
                     .parse()
-                    .map_err(|_| "--random wants an integer".to_string())?;
+                    .map_err(|_| OdrError::arg("--random wants an integer"))?;
             }
             "--max-dfs" => {
                 opts.max_dfs = value("--max-dfs")?
                     .parse()
-                    .map_err(|_| "--max-dfs wants an integer".to_string())?;
+                    .map_err(|_| OdrError::arg("--max-dfs wants an integer"))?;
             }
             "--min-interleavings" => {
                 opts.min_interleavings = value("--min-interleavings")?
                     .parse()
-                    .map_err(|_| "--min-interleavings wants an integer".to_string())?;
+                    .map_err(|_| OdrError::arg("--min-interleavings wants an integer"))?;
             }
             "--verbose" => opts.verbose = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
             }
-            other => return Err(format!("unknown option '{other}'")),
+            other => return Err(OdrError::arg(format!("unknown option '{other}'"))),
         }
     }
     if !opts.lint && !opts.model {
-        return Err("--lint-only and --model-only are mutually exclusive".to_string());
+        return Err(OdrError::arg(
+            "--lint-only and --model-only are mutually exclusive",
+        ));
     }
     Ok(opts)
 }
@@ -123,10 +126,11 @@ fn detect_root() -> Option<PathBuf> {
     }
 }
 
-fn run_lint_pass(opts: &Options) -> Result<bool, String> {
+fn run_lint_pass(opts: &Options) -> OdrResult<bool> {
     let root = match &opts.root {
         Some(r) => r.clone(),
-        None => detect_root().ok_or("cannot find repo root (use --root)")?,
+        None => detect_root()
+            .ok_or_else(|| OdrError::invalid_config("root", "cannot find repo root (use --root)"))?,
     };
     let allow_path = opts
         .allowlist

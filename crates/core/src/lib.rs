@@ -30,6 +30,8 @@
 //! simulator (`odr-pipeline`) and the real-thread runtime (`odr-runtime`,
 //! via [`SyncQueue`]).
 
+/// The unified [`error::OdrError`] every fallible crate boundary returns.
+pub mod error;
 /// Interval-based frame pacers: the paper's fixed-interval baseline and
 /// its FPS-maximising adaptive variant.
 pub mod pacer;
@@ -52,6 +54,7 @@ pub mod swap;
 /// The blocking mutex/condvar driver around [`swap::SwapState`].
 pub mod sync_queue;
 
+pub use error::{OdrError, OdrResult};
 pub use pacer::{AdaptiveIntervalPacer, IntervalPacer};
 pub use priority::PriorityGate;
 pub use queue::{FrameQueue, Publish};
@@ -59,4 +62,4 @@ pub use regulator::FpsRegulator;
 pub use rvs::RvsRegulator;
 pub use spec::{FpsGoal, OdrOptions, RegulationSpec};
 pub use swap::{SwapState, TryPop, TryPublish};
-pub use sync_queue::SyncQueue;
+pub use sync_queue::{QueueObs, SyncQueue};

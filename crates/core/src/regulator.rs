@@ -1,6 +1,9 @@
 //! ODR's FPS regulator — Algorithm 1 of the paper.
 
+use odr_obs::{names, track, Event, Recorder};
 use odr_simtime::{time::secs_f64, Duration};
+
+use crate::error::{OdrError, OdrResult};
 
 /// The accumulated-delay pacing loop the server proxy runs around frame
 /// encoding (Algorithm 1).
@@ -64,6 +67,19 @@ impl FpsRegulator {
             accelerate: true,
             frames: 0,
             slept: 0.0,
+        }
+    }
+
+    /// Fallible form of [`FpsRegulator::new`]: rejects a non-positive
+    /// target instead of panicking.
+    pub fn try_new(target_fps: f64) -> OdrResult<Self> {
+        if target_fps > 0.0 {
+            Ok(Self::new(target_fps))
+        } else {
+            Err(OdrError::invalid_config(
+                "target_fps",
+                format!("must be strictly positive (got {target_fps})"),
+            ))
         }
     }
 
@@ -131,12 +147,69 @@ impl FpsRegulator {
         }
     }
 
+    /// [`FpsRegulator::on_frame_processed`] plus an observability record:
+    /// emits the post-frame `acc_delay` balance as a counter sample and a
+    /// delay/accelerate instant describing the decision, stamped `now_ns`
+    /// on the regulator track. The regulation arithmetic is exactly the
+    /// unrecorded method's — recording never changes a decision.
+    pub fn on_frame_processed_recorded(
+        &mut self,
+        processing: Duration,
+        now_ns: u64,
+        recorder: &dyn Recorder,
+    ) -> Duration {
+        let sleep = self.on_frame_processed(processing);
+        if recorder.enabled() {
+            recorder.record(Event::counter(
+                now_ns,
+                track::REGULATOR,
+                names::REG_ACC_DELAY,
+                self.acc_delay,
+            ));
+            if sleep > Duration::ZERO {
+                recorder.record(
+                    Event::instant(now_ns, track::REGULATOR, names::REG_DELAY)
+                        .with_value(sleep.as_secs_f64()),
+                );
+            } else if self.acc_delay < 0.0 {
+                recorder.record(
+                    Event::instant(now_ns, track::REGULATOR, names::REG_ACCELERATE)
+                        .with_value(-self.acc_delay),
+                );
+            }
+        }
+        sleep
+    }
+
     /// PriorityFrame hook: the regulator sleep for the current frame is
     /// cancelled; the skipped delay is *not* forgotten, it stays in the
     /// balance so the long-run FPS target is unaffected.
     pub fn cancel_pending_sleep(&mut self, remaining: Duration) {
         self.acc_delay += remaining.as_secs_f64();
         self.slept -= remaining.as_secs_f64();
+    }
+
+    /// [`FpsRegulator::cancel_pending_sleep`] plus an observability record
+    /// of the cancellation and the balance it restored.
+    pub fn cancel_pending_sleep_recorded(
+        &mut self,
+        remaining: Duration,
+        now_ns: u64,
+        recorder: &dyn Recorder,
+    ) {
+        self.cancel_pending_sleep(remaining);
+        if recorder.enabled() {
+            recorder.record(
+                Event::instant(now_ns, track::REGULATOR, names::REG_CANCEL)
+                    .with_value(remaining.as_secs_f64()),
+            );
+            recorder.record(Event::counter(
+                now_ns,
+                track::REGULATOR,
+                names::REG_ACC_DELAY,
+                self.acc_delay,
+            ));
+        }
     }
 
     /// The configured interval, if any.
@@ -284,5 +357,53 @@ mod tests {
     #[should_panic(expected = "target FPS must be positive")]
     fn zero_fps_panics() {
         let _ = FpsRegulator::new(0.0);
+    }
+
+    #[test]
+    fn try_new_rejects_non_positive_targets() {
+        assert!(FpsRegulator::try_new(60.0).is_ok());
+        let err = FpsRegulator::try_new(0.0).expect_err("zero fps");
+        assert!(err.to_string().contains("target_fps"), "{err}");
+        assert!(FpsRegulator::try_new(-1.0).is_err());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn recorded_variant_matches_unrecorded_and_emits_events() {
+        use odr_obs::{names, Kind, Recorder, RingRecorder};
+
+        let ring = RingRecorder::default();
+        let mut plain = FpsRegulator::new(100.0);
+        let mut recorded = FpsRegulator::new(100.0);
+        for work in [ms(4), ms(30), ms(4)] {
+            let a = plain.on_frame_processed(work);
+            let b = recorded.on_frame_processed_recorded(work, 0, &ring);
+            assert_eq!(a, b, "recording must not change decisions");
+        }
+        assert_eq!(plain.balance_secs(), recorded.balance_secs());
+
+        let events = ring.drain().events;
+        // Every frame samples acc_delay; decisions add delay/accelerate.
+        let samples = events
+            .iter()
+            .filter(|e| e.kind == Kind::Counter && e.name == names::REG_ACC_DELAY)
+            .count();
+        assert_eq!(samples, 3);
+        assert!(events.iter().any(|e| e.name == names::REG_DELAY));
+        assert!(events.iter().any(|e| e.name == names::REG_ACCELERATE));
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn recorded_cancel_emits_priority_cancel() {
+        use odr_obs::{names, Recorder, RingRecorder};
+
+        let ring = RingRecorder::default();
+        let mut r = FpsRegulator::new(100.0);
+        let _ = r.on_frame_processed(ms(2));
+        r.cancel_pending_sleep_recorded(ms(5), 10, &ring);
+        assert!((r.balance_secs() - 0.005).abs() < 1e-12);
+        let events = ring.drain().events;
+        assert!(events.iter().any(|e| e.name == names::REG_CANCEL));
     }
 }

@@ -13,10 +13,35 @@
 //! the same transitions under a virtual scheduler, so the protocol
 //! verified there is the protocol running here.
 
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
+use odr_obs::{names, Event, MonoClock, Recorder};
+
+use crate::error::{OdrError, OdrResult};
 use crate::queue::FullPolicy;
 use crate::swap::{SwapState, TryPop, TryPublish};
+
+/// Observability attachment for a [`SyncQueue`]: where (and on which
+/// trace lane) the queue records its swap waits, overwrite drops and
+/// priority flushes.
+pub struct QueueObs {
+    /// Destination sink, shared with the rest of the pipeline.
+    pub recorder: Arc<dyn Recorder>,
+    /// Trace track identifying this queue (e.g. `odr_obs::track::BUF1`).
+    pub track: u32,
+    /// Timestamp source — the runtime's shared monotonic origin.
+    pub clock: MonoClock,
+}
+
+impl QueueObs {
+    fn record(&self, event: Event) {
+        self.recorder.record(event);
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+}
 
 /// A bounded, closable, multi-buffer channel between two pipeline threads.
 ///
@@ -49,6 +74,8 @@ pub struct SyncQueue<T> {
     space: Condvar,
     /// Signalled when a frame is published (data available).
     data: Condvar,
+    /// Optional observability sink (see [`SyncQueue::with_obs`]).
+    obs: Option<QueueObs>,
 }
 
 /// A poisoned lock means another pipeline thread panicked while holding
@@ -67,7 +94,23 @@ impl<T> SyncQueue<T> {
             state: Mutex::new(SwapState::new(capacity, policy)),
             space: Condvar::new(),
             data: Condvar::new(),
+            obs: None,
         }
+    }
+
+    /// Attaches an observability sink: swap waits become `wait_space` /
+    /// `wait_data` spans, overwrite drops become `swap.drop` instants and
+    /// priority flushes `swap.priority_flush` instants, all on the
+    /// attachment's track. A disabled recorder is discarded outright so
+    /// the untraced hot path stays branch-on-`None`.
+    #[must_use]
+    pub fn with_obs(mut self, obs: QueueObs) -> Self {
+        self.obs = if obs.recorder.enabled() {
+            Some(obs)
+        } else {
+            None
+        };
+        self
     }
 
     /// Creates a queue whose producer blocks when `capacity` frames are
@@ -81,6 +124,18 @@ impl<T> SyncQueue<T> {
         Self::with_policy(capacity, FullPolicy::Block)
     }
 
+    /// Fallible form of [`SyncQueue::new_blocking`]: rejects a zero
+    /// capacity instead of panicking.
+    pub fn try_new_blocking(capacity: usize) -> OdrResult<Self> {
+        if capacity == 0 {
+            return Err(OdrError::invalid_config(
+                "capacity",
+                "multi-buffer capacity must be at least 1",
+            ));
+        }
+        Ok(Self::with_policy(capacity, FullPolicy::Block))
+    }
+
     /// Creates a queue whose producer overwrites the newest pending frame
     /// when full (unregulated mode — excessive frames are dropped here).
     ///
@@ -92,20 +147,62 @@ impl<T> SyncQueue<T> {
         Self::with_policy(capacity, FullPolicy::Overwrite)
     }
 
+    /// Fallible form of [`SyncQueue::new_overwriting`]: rejects a zero
+    /// capacity instead of panicking.
+    pub fn try_new_overwriting(capacity: usize) -> OdrResult<Self> {
+        if capacity == 0 {
+            return Err(OdrError::invalid_config(
+                "capacity",
+                "multi-buffer capacity must be at least 1",
+            ));
+        }
+        Ok(Self::with_policy(capacity, FullPolicy::Overwrite))
+    }
+
+    /// Closes a `wait_*` span if one was opened.
+    fn end_wait(&self, waited: bool, name: &'static str) {
+        if waited {
+            if let Some(obs) = &self.obs {
+                obs.record(Event::end(obs.now_ns(), obs.track, name));
+            }
+        }
+    }
+
     /// Publishes a frame, blocking while the buffer is full (in blocking
     /// mode). Returns `false` if the queue was closed (frame discarded).
     pub fn publish_blocking(&self, frame: T) -> bool {
         let mut guard = relock(self.state.lock());
         let mut frame = frame;
+        let drops_before = guard.drops();
+        let mut waited = false;
         loop {
             match guard.try_publish(frame) {
                 TryPublish::Accepted => {
                     self.data.notify_one();
+                    self.end_wait(waited, names::WAIT_SPACE);
+                    if let Some(obs) = &self.obs {
+                        let dropped = guard.drops() - drops_before;
+                        if dropped > 0 {
+                            obs.record(
+                                Event::instant(obs.now_ns(), obs.track, names::SWAP_DROP)
+                                    .with_value(dropped as f64),
+                            );
+                        }
+                    }
                     return true;
                 }
-                TryPublish::Closed => return false,
+                TryPublish::Closed => {
+                    self.end_wait(waited, names::WAIT_SPACE);
+                    return false;
+                }
                 TryPublish::MustWait(returned) => {
                     frame = returned;
+                    if !waited {
+                        waited = true;
+                        if let Some(obs) = &self.obs {
+                            obs.record(Event::begin(obs.now_ns(), obs.track, names::WAIT_SPACE));
+                        }
+                    }
                     guard = relock(self.space.wait(guard));
                 }
             }
@@ -116,14 +213,27 @@ impl<T> SyncQueue<T> {
     /// `None` once the queue is closed *and* drained.
     pub fn pop_blocking(&self) -> Option<T> {
         let mut guard = relock(self.state.lock());
+        let mut waited = false;
         loop {
             match guard.try_pop() {
                 TryPop::Frame(frame) => {
                     self.space.notify_one();
+                    self.end_wait(waited, names::WAIT_DATA);
                     return Some(frame);
                 }
-                TryPop::Drained => return None,
-                TryPop::MustWait => guard = relock(self.data.wait(guard)),
+                TryPop::Drained => {
+                    self.end_wait(waited, names::WAIT_DATA);
+                    return None;
+                }
+                TryPop::MustWait => {
+                    if !waited {
+                        waited = true;
+                        if let Some(obs) = &self.obs {
+                            obs.record(Event::begin(obs.now_ns(), obs.track, names::WAIT_DATA));
+                        }
+                    }
+                    guard = relock(self.data.wait(guard));
+                }
             }
         }
     }
@@ -148,6 +258,14 @@ impl<T> SyncQueue<T> {
         let flushed = guard.try_publish_priority(frame)?;
         self.data.notify_one();
         self.space.notify_one();
+        if flushed > 0 {
+            if let Some(obs) = &self.obs {
+                obs.record(
+                    Event::instant(obs.now_ns(), obs.track, names::SWAP_FLUSH)
+                        .with_value(flushed as f64),
+                );
+            }
+        }
         Some(flushed)
     }
 
@@ -289,6 +407,65 @@ mod tests {
         assert_eq!(q.pop_blocking(), Some(5));
         q.close();
         assert_eq!(q.pop_blocking(), None);
+    }
+
+    #[test]
+    fn try_constructors_reject_zero_capacity() {
+        assert!(SyncQueue::<u8>::try_new_blocking(1).is_ok());
+        assert!(SyncQueue::<u8>::try_new_blocking(0).is_err());
+        assert!(SyncQueue::<u8>::try_new_overwriting(2).is_ok());
+        let err = match SyncQueue::<u8>::try_new_overwriting(0) {
+            Ok(_) => panic!("zero capacity must be rejected"),
+            Err(err) => err,
+        };
+        assert!(err.to_string().contains("capacity"), "{err}");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn obs_records_drops_flushes_and_waits() {
+        use odr_obs::{names, track, Kind, MonoClock, Recorder, RingRecorder};
+
+        let rec = Arc::new(RingRecorder::default());
+        let obs = |rec: &Arc<RingRecorder>| QueueObs {
+            recorder: Arc::clone(rec) as Arc<dyn Recorder>,
+            track: track::BUF1,
+            clock: MonoClock::start(),
+        };
+
+        // Overwrite drop and priority flush, single-threaded.
+        let q = SyncQueue::new_overwriting(1).with_obs(obs(&rec));
+        assert!(q.publish_blocking(1u8));
+        assert!(q.publish_blocking(2)); // replaces frame 1 → swap.drop
+        assert_eq!(q.publish_priority(9), Some(1)); // flushes frame 2
+        let events = rec.drain().events;
+        assert!(events
+            .iter()
+            .any(|e| e.name == names::SWAP_DROP && e.value == 1.0));
+        assert!(events
+            .iter()
+            .any(|e| e.name == names::SWAP_FLUSH && e.value == 1.0));
+
+        // A blocked producer opens and closes a wait_space span.
+        let q = Arc::new(SyncQueue::new_blocking(1).with_obs(obs(&rec)));
+        assert!(q.publish_blocking(1u8));
+        let blocked = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.publish_blocking(2))
+        };
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop_blocking(), Some(1));
+        assert!(blocked.join().expect("producer"));
+        let events = rec.drain().events;
+        let begins = events
+            .iter()
+            .filter(|e| e.kind == Kind::SpanBegin && e.name == names::WAIT_SPACE)
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| e.kind == Kind::SpanEnd && e.name == names::WAIT_SPACE)
+            .count();
+        assert_eq!((begins, ends), (1, 1));
     }
 
     #[test]

@@ -54,6 +54,38 @@ impl FleetConfig {
         }
     }
 
+    /// Starts a typed builder: one session, one worker thread, and the
+    /// session-shape defaults of [`ExperimentConfig::builder`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use odr_core::{FpsGoal, RegulationSpec};
+    /// use odr_fleet::FleetConfig;
+    /// use odr_simtime::Duration;
+    /// use odr_workload::{Benchmark, Platform, Resolution, Scenario};
+    ///
+    /// let scenario = Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud);
+    /// let fleet = FleetConfig::builder(scenario, RegulationSpec::odr(FpsGoal::Target(60.0)))
+    ///     .sessions(8)
+    ///     .threads(4)
+    ///     .base(|b| b.duration(Duration::from_secs(10)))
+    ///     .build();
+    /// assert_eq!(fleet.sessions, 8);
+    /// assert_eq!(fleet.base.duration, Duration::from_secs(10));
+    /// ```
+    #[must_use]
+    pub fn builder(
+        scenario: odr_workload::Scenario,
+        spec: odr_core::RegulationSpec,
+    ) -> FleetConfigBuilder {
+        FleetConfigBuilder {
+            base: ExperimentConfig::builder(scenario, spec),
+            sessions: 1,
+            threads: 1,
+        }
+    }
+
     /// Sets the worker-pool size.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
@@ -75,6 +107,54 @@ impl FleetConfig {
     }
 }
 
+/// Typed builder for [`FleetConfig`], delegating the per-session shape
+/// to [`odr_pipeline::ExperimentConfigBuilder`].
+///
+/// Obtained from [`FleetConfig::builder`]; `build` is infallible.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfigBuilder {
+    base: odr_pipeline::ExperimentConfigBuilder,
+    sessions: u32,
+    threads: usize,
+}
+
+impl FleetConfigBuilder {
+    /// Sets the number of independent sessions (default: 1).
+    #[must_use]
+    pub fn sessions(mut self, sessions: u32) -> Self {
+        self.sessions = sessions;
+        self
+    }
+
+    /// Sets the worker-pool size (default: 1; clamped to
+    /// `1..=sessions` when the fleet runs).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Adjusts the per-session experiment shape through its own builder.
+    #[must_use]
+    pub fn base(
+        mut self,
+        f: impl FnOnce(odr_pipeline::ExperimentConfigBuilder) -> odr_pipeline::ExperimentConfigBuilder,
+    ) -> Self {
+        self.base = f(self.base);
+        self
+    }
+
+    /// Finishes the builder.
+    #[must_use]
+    pub fn build(self) -> FleetConfig {
+        FleetConfig {
+            base: self.base.build(),
+            sessions: self.sessions,
+            threads: self.threads,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +166,33 @@ mod tests {
             Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud),
             RegulationSpec::odr(FpsGoal::Target(60.0)),
         )
+    }
+
+    #[test]
+    fn builder_defaults_match_new() {
+        let scenario = Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud);
+        let spec = RegulationSpec::odr(FpsGoal::Target(60.0));
+        let built = FleetConfig::builder(scenario, spec).build();
+        let legacy = FleetConfig::new(ExperimentConfig::new(scenario, spec), 1);
+        assert_eq!(built.sessions, legacy.sessions);
+        assert_eq!(built.threads, legacy.threads);
+        assert_eq!(built.base.seed, legacy.base.seed);
+        assert_eq!(built.base.duration, legacy.base.duration);
+        assert_eq!(built.base.warmup, legacy.base.warmup);
+    }
+
+    #[test]
+    fn builder_delegates_base_shape() {
+        let scenario = Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud);
+        let fleet = FleetConfig::builder(scenario, RegulationSpec::NoReg)
+            .sessions(6)
+            .threads(3)
+            .base(|b| b.seed(11).obs(true))
+            .build();
+        assert_eq!(fleet.sessions, 6);
+        assert_eq!(fleet.threads, 3);
+        assert_eq!(fleet.base.seed, 11);
+        assert!(fleet.base.obs);
     }
 
     #[test]

@@ -99,4 +99,29 @@ mod tests {
         let r = run_fleet(&tiny(2).with_threads(64));
         assert_eq!(r.sessions, 2);
     }
+
+    #[test]
+    fn tracing_does_not_change_the_rendered_report() {
+        let plain = run_fleet(&tiny(2));
+        let mut traced_cfg = tiny(2);
+        traced_cfg.base = traced_cfg.base.with_obs();
+        let traced = run_fleet(&traced_cfg);
+        assert_eq!(plain.to_text(), traced.to_text());
+        assert!(plain.obs.is_empty());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn obs_counters_fold_identically_across_thread_counts() {
+        let mut cfg = tiny(4);
+        cfg.base = cfg.base.with_obs();
+        let one = run_fleet(&cfg.with_threads(1));
+        let two = run_fleet(&cfg.with_threads(2));
+        let eight = run_fleet(&cfg.with_threads(8));
+        assert!(!one.obs.is_empty(), "capture was on: counters expected");
+        assert_eq!(one.obs, two.obs);
+        assert_eq!(one.obs, eight.obs);
+        assert_eq!(one.to_text(), two.to_text());
+        assert_eq!(one.to_text(), eight.to_text());
+    }
 }

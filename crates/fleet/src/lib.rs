@@ -52,6 +52,6 @@ pub mod engine;
 pub mod report;
 
 pub use capacity::{capacity_curve, curve_to_text, CapacityPoint};
-pub use config::{session_seed, FleetConfig};
+pub use config::{session_seed, FleetConfig, FleetConfigBuilder};
 pub use engine::run_fleet;
 pub use report::{FleetReport, SessionOutcome, SessionRow};

@@ -42,6 +42,10 @@ pub struct SessionOutcome {
     pub priority_frames: u64,
     /// User inputs issued.
     pub inputs: u64,
+    /// Per-stage observability counters (empty when the session ran with
+    /// capture off). Sessions hand back counters, never raw event logs,
+    /// so a fleet's memory stays bounded.
+    pub obs: odr_obs::Counters,
 }
 
 impl SessionOutcome {
@@ -65,6 +69,7 @@ impl SessionOutcome {
             frames_dropped: report.frames_dropped,
             priority_frames: report.priority_frames,
             inputs: report.inputs,
+            obs: report.obs.counters.clone(),
         }
     }
 }
@@ -130,6 +135,11 @@ pub struct FleetReport {
     pub priority_frames: u64,
     /// Inputs across the fleet.
     pub inputs: u64,
+    /// Observability counters summed across the fleet in session-index
+    /// order (empty when sessions ran with capture off). Deliberately not
+    /// part of [`to_text`](FleetReport::to_text): enabling capture must
+    /// not change the rendered report.
+    pub obs: odr_obs::Counters,
     /// Per-session table, in session-index order.
     pub per_session: Vec<SessionRow>,
 }
@@ -159,6 +169,7 @@ impl FleetReport {
             frames_dropped: 0,
             priority_frames: 0,
             inputs: 0,
+            obs: odr_obs::Counters::default(),
             per_session: Vec::with_capacity(outcomes.len()),
         };
         for o in outcomes {
@@ -177,6 +188,7 @@ impl FleetReport {
             report.frames_dropped += o.frames_dropped;
             report.priority_frames += o.priority_frames;
             report.inputs += o.inputs;
+            report.obs.absorb(&o.obs);
             report.per_session.push(SessionRow {
                 index: o.index,
                 seed: o.seed,
@@ -276,6 +288,12 @@ mod tests {
             frames_dropped: 10,
             priority_frames: 5,
             inputs: 20,
+            obs: {
+                let mut c = odr_obs::Counters::default();
+                c.entry("render").begun = 600;
+                c.entry("render").drops = 10;
+                c
+            },
         }
     }
 
@@ -294,6 +312,9 @@ mod tests {
         assert_eq!(r.frames_rendered, 1200);
         assert_eq!(r.per_session.len(), 2);
         assert!((r.mean_satisfaction - 0.9).abs() < 1e-12);
+        let render = r.obs.get("render").copied().unwrap_or_default();
+        assert_eq!(render.begun, 1200);
+        assert_eq!(render.drops, 20);
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Recording sinks: the [`Recorder`] trait object, a bounded ring buffer,
+//! and the no-op null sink used when observability is disabled.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::event::Event;
+
+/// Default ring capacity: 65 536 events (~3 MiB), enough for several
+/// minutes of per-frame spans at 60 FPS before the ring starts shedding
+/// its oldest entries.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Everything a recorder held when it was drained.
+#[derive(Clone, Debug, Default)]
+pub struct Drained {
+    /// Recorded events, in insertion order.
+    pub events: Vec<Event>,
+    /// Events shed because the ring was full (oldest-first eviction).
+    pub dropped: u64,
+}
+
+impl Drained {
+    /// Concatenates another drain into this one (used to merge per-thread
+    /// rings; sort by timestamp afterwards, e.g. via
+    /// [`crate::ObsReport::from_drained`]).
+    pub fn merge(&mut self, other: Drained) {
+        self.events.extend(other.events);
+        self.dropped += other.dropped;
+    }
+}
+
+/// A sink for [`Event`]s.
+///
+/// Producers hold `&dyn Recorder` (or `Arc<dyn Recorder>` across threads)
+/// so the disabled path is a [`NullRecorder`] behind the same vtable: no
+/// generics leak into pipeline types, and callers can skip even event
+/// construction by checking [`Recorder::enabled`] first.
+pub trait Recorder: Send + Sync {
+    /// `true` when recorded events are actually kept. Producers use this to
+    /// skip argument evaluation on the disabled path.
+    fn enabled(&self) -> bool;
+
+    /// Records one event. Must be cheap and must never block on anything
+    /// but its own short internal lock.
+    fn record(&self, event: Event);
+
+    /// Takes everything recorded so far, leaving the sink empty. The
+    /// default (for sinks that keep nothing) returns an empty drain.
+    fn drain(&self) -> Drained {
+        Drained::default()
+    }
+}
+
+/// The no-op sink: drops every event, reports itself disabled.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: Event) {}
+}
+
+/// A `&'static` no-op sink, handy where a `&dyn Recorder` is needed but no
+/// allocation is wanted.
+pub static NULL_RECORDER: NullRecorder = NullRecorder;
+
+/// A bounded, thread-safe ring buffer of events.
+///
+/// When full it evicts the oldest event and counts it in
+/// [`Drained::dropped`], so a runaway producer degrades the trace window
+/// instead of memory. With the `capture` feature disabled, `record` is a
+/// no-op and `enabled` is `false` — the zero-cost-when-disabled contract.
+#[derive(Debug)]
+pub struct RingRecorder {
+    inner: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<Event>,
+    // Only `record` (compiled out without `capture`) reads the bound.
+    #[cfg_attr(not(feature = "capture"), allow(dead_code))]
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// Creates a ring holding at most `capacity` events (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> RingRecorder {
+        let capacity = capacity.max(1);
+        RingRecorder {
+            inner: Mutex::new(Ring {
+                events: VecDeque::with_capacity(if cfg!(feature = "capture") {
+                    capacity.min(DEFAULT_CAPACITY)
+                } else {
+                    0
+                }),
+                capacity,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Recovers the guard from a poisoned lock: the ring holds plain data,
+    /// so observing a panicked writer's partial state is safe.
+    fn lock(&self) -> MutexGuard<'_, Ring> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Events currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// Whether nothing is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().events.is_empty()
+    }
+}
+
+impl Default for RingRecorder {
+    fn default() -> RingRecorder {
+        RingRecorder::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn enabled(&self) -> bool {
+        cfg!(feature = "capture")
+    }
+
+    #[cfg_attr(not(feature = "capture"), allow(unused_variables))]
+    fn record(&self, event: Event) {
+        #[cfg(feature = "capture")]
+        {
+            let mut ring = self.lock();
+            if ring.events.len() >= ring.capacity {
+                ring.events.pop_front();
+                ring.dropped += 1;
+            }
+            ring.events.push_back(event);
+        }
+    }
+
+    fn drain(&self) -> Drained {
+        let mut ring = self.lock();
+        let dropped = ring.dropped;
+        ring.dropped = 0;
+        Drained {
+            events: ring.events.drain(..).collect(),
+            dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{names, track};
+
+    fn ev(ts: u64) -> Event {
+        Event::instant(ts, track::APP, names::PRESENT)
+    }
+
+    #[test]
+    fn null_recorder_is_disabled_and_empty() {
+        let r = NullRecorder;
+        assert!(!r.enabled());
+        r.record(ev(1));
+        let d = r.drain();
+        assert!(d.events.is_empty());
+        assert_eq!(d.dropped, 0);
+    }
+
+    #[cfg(feature = "capture")]
+    #[test]
+    fn ring_keeps_insertion_order() {
+        let r = RingRecorder::new(8);
+        assert!(r.enabled());
+        for ts in 0..5 {
+            r.record(ev(ts));
+        }
+        let d = r.drain();
+        assert_eq!(d.dropped, 0);
+        let stamps: Vec<u64> = d.events.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(stamps, vec![0, 1, 2, 3, 4]);
+        assert!(r.is_empty());
+    }
+
+    #[cfg(feature = "capture")]
+    #[test]
+    fn full_ring_sheds_oldest_and_counts() {
+        let r = RingRecorder::new(3);
+        for ts in 0..10 {
+            r.record(ev(ts));
+        }
+        assert_eq!(r.len(), 3);
+        let d = r.drain();
+        assert_eq!(d.dropped, 7);
+        let stamps: Vec<u64> = d.events.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(stamps, vec![7, 8, 9]);
+        // Drain resets the shed counter.
+        assert_eq!(r.drain().dropped, 0);
+    }
+
+    #[cfg(not(feature = "capture"))]
+    #[test]
+    fn capture_off_makes_rings_no_op() {
+        let r = RingRecorder::new(8);
+        assert!(!r.enabled());
+        r.record(ev(1));
+        assert!(r.drain().events.is_empty());
+    }
+
+    #[test]
+    fn merge_concatenates_drains() {
+        let mut a = Drained {
+            events: vec![ev(1)],
+            dropped: 2,
+        };
+        a.merge(Drained {
+            events: vec![ev(2), ev(3)],
+            dropped: 1,
+        });
+        assert_eq!(a.events.len(), 3);
+        assert_eq!(a.dropped, 3);
+    }
+}

@@ -53,6 +53,12 @@ pub struct ExperimentConfig {
     /// Overrides the platform's downlink (capacity sweeps and what-if
     /// studies); `None` uses the scenario's platform link.
     pub downlink_override: Option<LinkParams>,
+    /// Record structured observability events (stage spans, drops,
+    /// regulator decisions) into [`Report::obs`]; off by default so the
+    /// simulation pays nothing for the subsystem.
+    ///
+    /// [`Report::obs`]: crate::Report::obs
+    pub obs: bool,
 }
 
 impl ExperimentConfig {
@@ -76,6 +82,19 @@ impl ExperimentConfig {
             trace: false,
             display: ClientDisplay::Immediate,
             downlink_override: None,
+            obs: false,
+        }
+    }
+
+    /// Starts a typed builder with the same defaults as [`ExperimentConfig::new`]:
+    /// [`DEFAULT_DURATION`](Self::DEFAULT_DURATION) of simulated play,
+    /// [`DEFAULT_WARMUP`](Self::DEFAULT_WARMUP) excluded from metrics,
+    /// the scenario-derived seed, [`ClientDisplay::Immediate`], and
+    /// tracing/observability off.
+    #[must_use]
+    pub fn builder(scenario: Scenario, spec: RegulationSpec) -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder {
+            cfg: ExperimentConfig::new(scenario, spec),
         }
     }
 
@@ -114,6 +133,15 @@ impl ExperimentConfig {
         self
     }
 
+    /// Enables structured observability capture (see [`Report::obs`]).
+    ///
+    /// [`Report::obs`]: crate::Report::obs
+    #[must_use]
+    pub fn with_obs(mut self) -> Self {
+        self.obs = true;
+        self
+    }
+
     /// The effective downlink for this experiment.
     #[must_use]
     pub fn downlink(&self) -> LinkParams {
@@ -131,6 +159,94 @@ impl ExperimentConfig {
     #[must_use]
     pub fn label(&self) -> String {
         format!("{} {}", self.scenario.label(), self.spec.label())
+    }
+}
+
+/// Typed builder for [`ExperimentConfig`].
+///
+/// Obtained from [`ExperimentConfig::builder`]; every setter documents
+/// the default it replaces. [`build`](Self::build) is infallible — every
+/// combination of the typed fields is a runnable experiment.
+///
+/// # Examples
+///
+/// ```
+/// use odr_core::{FpsGoal, RegulationSpec};
+/// use odr_pipeline::ExperimentConfig;
+/// use odr_simtime::Duration;
+/// use odr_workload::{Benchmark, Platform, Resolution, Scenario};
+///
+/// let scenario = Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud);
+/// let cfg = ExperimentConfig::builder(scenario, RegulationSpec::odr(FpsGoal::Target(60.0)))
+///     .duration(Duration::from_secs(20))
+///     .seed(42)
+///     .build();
+/// assert_eq!(cfg.duration, Duration::from_secs(20));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentConfigBuilder {
+    cfg: ExperimentConfig,
+}
+
+impl ExperimentConfigBuilder {
+    /// Sets the measured duration (default:
+    /// [`ExperimentConfig::DEFAULT_DURATION`], 120 s).
+    #[must_use]
+    pub fn duration(mut self, duration: Duration) -> Self {
+        self.cfg.duration = duration;
+        self
+    }
+
+    /// Sets the warm-up span excluded from metrics (default:
+    /// [`ExperimentConfig::DEFAULT_WARMUP`], 5 s).
+    #[must_use]
+    pub fn warmup(mut self, warmup: Duration) -> Self {
+        self.cfg.warmup = warmup;
+        self
+    }
+
+    /// Sets the RNG seed (default: derived from the scenario so distinct
+    /// scenarios draw independent streams).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Enables per-frame tracing (default: off).
+    #[must_use]
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.cfg.trace = trace;
+        self
+    }
+
+    /// Selects the client presentation model (default:
+    /// [`ClientDisplay::Immediate`]).
+    #[must_use]
+    pub fn display(mut self, display: ClientDisplay) -> Self {
+        self.cfg.display = display;
+        self
+    }
+
+    /// Overrides the platform downlink (default: the scenario's link).
+    #[must_use]
+    pub fn downlink_override(mut self, link: LinkParams) -> Self {
+        self.cfg.downlink_override = Some(link);
+        self
+    }
+
+    /// Enables structured observability capture (default: off).
+    #[must_use]
+    pub fn obs(mut self, obs: bool) -> Self {
+        self.cfg.obs = obs;
+        self
+    }
+
+    /// Finishes the builder. Infallible: the defaults are always valid and
+    /// every setter preserves validity.
+    #[must_use]
+    pub fn build(self) -> ExperimentConfig {
+        self.cfg
     }
 }
 
@@ -152,6 +268,43 @@ mod tests {
         assert!(cfg.trace);
         assert_eq!(cfg.total_time(), Duration::from_secs(15));
         assert_eq!(cfg.label(), "IM/720p/Priv ODRMax");
+    }
+
+    #[test]
+    fn builder_defaults_match_new() {
+        let scenario = Scenario::new(Benchmark::Dota2, Resolution::R1080p, Platform::Gce);
+        let spec = RegulationSpec::odr(FpsGoal::Target(60.0));
+        let built = ExperimentConfig::builder(scenario, spec).build();
+        let legacy = ExperimentConfig::new(scenario, spec);
+        assert_eq!(built.duration, legacy.duration);
+        assert_eq!(built.warmup, legacy.warmup);
+        assert_eq!(built.seed, legacy.seed);
+        assert_eq!(built.trace, legacy.trace);
+        assert_eq!(built.display, legacy.display);
+        assert!(built.downlink_override.is_none() && legacy.downlink_override.is_none());
+        assert_eq!(built.obs, legacy.obs);
+    }
+
+    #[test]
+    fn builder_setters_cover_every_field() {
+        let scenario = Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud);
+        let link = scenario.downlink();
+        let cfg = ExperimentConfig::builder(scenario, RegulationSpec::NoReg)
+            .duration(Duration::from_secs(9))
+            .warmup(Duration::from_secs(2))
+            .seed(99)
+            .trace(true)
+            .display(ClientDisplay::VSync { refresh_hz: 75.0 })
+            .downlink_override(link)
+            .obs(true)
+            .build();
+        assert_eq!(cfg.duration, Duration::from_secs(9));
+        assert_eq!(cfg.warmup, Duration::from_secs(2));
+        assert_eq!(cfg.seed, 99);
+        assert!(cfg.trace);
+        assert_eq!(cfg.display, ClientDisplay::VSync { refresh_hz: 75.0 });
+        assert!(cfg.downlink_override.is_some());
+        assert!(cfg.obs);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod sim;
 pub mod suite;
 pub mod timeline;
 
-pub use config::{ClientDisplay, ExperimentConfig};
+pub use config::{ClientDisplay, ExperimentConfig, ExperimentConfigBuilder};
 pub use frame::{Frame, FrameTrace};
 pub use report::Report;
 pub use sim::run_experiment;

@@ -133,6 +133,8 @@ pub fn run_local(cfg: &ExperimentConfig) -> Report {
         priority_frames: 0,
         inputs: inputs.len() as u64,
         traces: Vec::new(),
+        // Local execution has no pipeline stages to observe.
+        obs: odr_obs::ObsReport::disabled(),
     }
 }
 

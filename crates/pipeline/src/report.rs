@@ -63,6 +63,14 @@ pub struct Report {
     pub inputs: u64,
     /// Per-frame traces, if tracing was enabled.
     pub traces: Vec<FrameTrace>,
+    /// Structured observability capture (stage spans, drops, regulator
+    /// decisions), populated when [`ExperimentConfig::obs`] is set;
+    /// [`ObsReport::disabled`] otherwise. Never feeds the scalar metrics
+    /// above, so enabling it cannot change a report's rendered text.
+    ///
+    /// [`ExperimentConfig::obs`]: crate::ExperimentConfig::obs
+    /// [`ObsReport::disabled`]: odr_obs::ObsReport::disabled
+    pub obs: odr_obs::ObsReport,
 }
 
 /// Computes (coefficient of variation, stutter-event rate) from a series

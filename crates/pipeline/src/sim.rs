@@ -26,6 +26,7 @@ use odr_core::{
 };
 use odr_memsim::{MemClient, MemoryModel};
 use odr_metrics::{FpsGap, Summary, WindowedRate};
+use odr_obs::{names, track, Event as ObsEvent, NullRecorder, ObsReport, Recorder, RingRecorder};
 use odr_netsim::Link;
 use odr_simtime::{Duration, EventQueue, Rng, SimTime};
 use odr_workload::{FrameModel, InputModel, Platform, Scenario};
@@ -334,6 +335,11 @@ struct Sim {
     frames_rendered: u64,
     frames_displayed: u64,
     traces: Vec<FrameTrace>,
+
+    /// Observability sink: a ring recorder when `cfg.obs` is set, the
+    /// no-op recorder otherwise (every emission site checks `enabled()`
+    /// first, so the disabled path never constructs an event).
+    recorder: Box<dyn Recorder>,
 }
 
 impl Sim {
@@ -412,9 +418,26 @@ impl Sim {
             frames_rendered: 0,
             frames_displayed: 0,
             traces: Vec::new(),
+            recorder: if cfg.obs {
+                Box::new(RingRecorder::default())
+            } else {
+                Box::new(NullRecorder)
+            },
             policy,
             cfg: *cfg,
         }
+    }
+
+    /// Records one observability event; no-op when capture is off.
+    fn obs(&self, event: ObsEvent) {
+        if self.recorder.enabled() {
+            self.recorder.record(event);
+        }
+    }
+
+    /// The current sim time as the observability timestamp.
+    fn obs_now(&self) -> u64 {
+        self.now.as_nanos()
     }
 
     fn run(mut self) -> Report {
@@ -531,6 +554,7 @@ impl Sim {
                 ..FrameTrace::default()
             });
         }
+        self.obs(ObsEvent::begin(self.obs_now(), track::APP, names::RENDER).with_id(frame.id));
         let base = self.frame_model.render.sample(&mut self.rng_render);
         self.set_mem(MemClient::AppLogic, true);
         self.set_mem(MemClient::Render, true);
@@ -587,6 +611,7 @@ impl Sim {
         let mut frame = job.frame;
         frame.render_end = self.now;
         let started = job.started;
+        self.obs(ObsEvent::end(self.obs_now(), track::APP, names::RENDER).with_id(frame.id));
         self.trace_update(frame.id, |t, now| t.render = Some((started, now)));
         self.set_mem(MemClient::AppLogic, false);
         self.set_mem(MemClient::Render, false);
@@ -620,8 +645,11 @@ impl Sim {
         match self.proxy_state {
             ProxyState::WaitingFrame => self.proxy_take_next(),
             ProxyState::Sleeping { until } if frame.is_priority() => {
-                self.regulator
-                    .cancel_pending_sleep(until.saturating_since(self.now));
+                self.regulator.cancel_pending_sleep_recorded(
+                    until.saturating_since(self.now),
+                    self.now.as_nanos(),
+                    self.recorder.as_ref(),
+                );
                 self.proxy_gen += 1;
                 self.proxy_cycle_start = self.now;
                 self.proxy_take_next();
@@ -636,6 +664,11 @@ impl Sim {
     /// Marks the overwritten (newest pending before `new_id`) frame's trace
     /// as dropped. The overwriting publish already accounted the drop.
     fn mark_dropped_newest_before(&mut self, new_id: u64) {
+        self.obs(ObsEvent::instant(
+            self.obs_now(),
+            track::BUF1,
+            names::RENDER_DROP,
+        ));
         if self.cfg.trace {
             // The replaced frame is the one with the largest id below
             // `new_id` that never reached the proxy.
@@ -662,7 +695,13 @@ impl Sim {
                 }
             }
         }
-        self.mul_buf1.flush_obsolete();
+        let flushed = self.mul_buf1.flush_obsolete();
+        if flushed > 0 {
+            self.obs(
+                ObsEvent::instant(self.obs_now(), track::BUF1, names::RENDER_FLUSH)
+                    .with_value(flushed as f64),
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -677,6 +716,9 @@ impl Sim {
                 if self.app_state == AppState::BlockedOnBuffer {
                     self.app_cycle();
                 }
+                self.obs(
+                    ObsEvent::begin(self.obs_now(), track::PROXY, names::COPY).with_id(frame.id),
+                );
                 let base = self.frame_model.copy.sample(&mut self.rng_copy);
                 self.set_mem(MemClient::Copy, true);
                 let job = self.new_job(frame, base);
@@ -699,6 +741,12 @@ impl Sim {
         let started = job.started;
         match phase {
             ProxyPhase::Copy => {
+                self.obs(
+                    ObsEvent::end(self.obs_now(), track::PROXY, names::COPY).with_id(frame.id),
+                );
+                self.obs(
+                    ObsEvent::begin(self.obs_now(), track::PROXY, names::ENCODE).with_id(frame.id),
+                );
                 self.trace_update(frame.id, |t, now| t.copy = Some((started, now)));
                 self.set_mem(MemClient::Copy, false);
                 let base = self.frame_model.encode.sample(&mut self.rng_encode);
@@ -712,6 +760,9 @@ impl Sim {
                 self.proxy_state = ProxyState::Encoding;
             }
             ProxyPhase::Encode => {
+                self.obs(
+                    ObsEvent::end(self.obs_now(), track::PROXY, names::ENCODE).with_id(frame.id),
+                );
                 self.trace_update(frame.id, |t, now| t.encode = Some((started, now)));
                 self.on_encode_done(frame);
             }
@@ -746,6 +797,9 @@ impl Sim {
         } else {
             // Baselines: blocking write straight into the downlink socket.
             let delivery = self.downlink.send(self.now, frame.size);
+            self.obs(
+                ObsEvent::begin(self.obs_now(), track::NET, names::TRANSMIT).with_id(frame.id),
+            );
             self.trace_update(frame.id, |t, now| {
                 t.transmit = Some((now, delivery.arrival));
             });
@@ -775,7 +829,13 @@ impl Sim {
                 }
             }
         }
-        self.mul_buf2.flush_obsolete();
+        let flushed = self.mul_buf2.flush_obsolete();
+        if flushed > 0 {
+            self.obs(
+                ObsEvent::instant(self.obs_now(), track::BUF2, names::ENCODE_FLUSH)
+                    .with_value(flushed as f64),
+            );
+        }
     }
 
     /// Algorithm 1's tail: account the iteration's wall time (frame wait +
@@ -789,12 +849,20 @@ impl Sim {
     fn proxy_finish_cycle(&mut self, was_priority: bool) {
         let _ = was_priority;
         let processing = self.now.saturating_since(self.proxy_cycle_start);
-        let sleep = self.regulator.on_frame_processed(processing);
+        let sleep = self.regulator.on_frame_processed_recorded(
+            processing,
+            self.now.as_nanos(),
+            self.recorder.as_ref(),
+        );
         if sleep > Duration::ZERO {
             // A waiting priority frame must not be delayed: skip the sleep
             // but keep the balance.
             if self.policy.priority && self.buf1_head_priority() {
-                self.regulator.cancel_pending_sleep(sleep);
+                self.regulator.cancel_pending_sleep_recorded(
+                    sleep,
+                    self.now.as_nanos(),
+                    self.recorder.as_ref(),
+                );
             } else {
                 let until = self.now + sleep;
                 self.proxy_state = ProxyState::Sleeping { until };
@@ -848,6 +916,9 @@ impl Sim {
                 }
             }
             let delivery = self.downlink.send(self.now, frame.size);
+            self.obs(
+                ObsEvent::begin(self.obs_now(), track::NET, names::TRANSMIT).with_id(frame.id),
+            );
             self.trace_update(frame.id, |t, now| {
                 t.transmit = Some((now, delivery.arrival));
             });
@@ -870,6 +941,7 @@ impl Sim {
     // ------------------------------------------------------------------
 
     fn on_frame_arrived(&mut self, frame: Frame) {
+        self.obs(ObsEvent::end(self.obs_now(), track::NET, names::TRANSMIT).with_id(frame.id));
         self.decode_queue.push_back(frame);
         if !self.decoding {
             self.start_decode();
@@ -879,6 +951,9 @@ impl Sim {
     fn start_decode(&mut self) {
         if let Some(frame) = self.decode_queue.pop_front() {
             self.decoding = true;
+            self.obs(
+                ObsEvent::begin(self.obs_now(), track::CLIENT, names::DECODE).with_id(frame.id),
+            );
             let dur = self.frame_model.decode.sample(&mut self.rng_decode);
             self.trace_update(frame.id, |t, now| t.decode = Some((now, now + dur)));
             self.events
@@ -887,6 +962,7 @@ impl Sim {
     }
 
     fn on_decode_done(&mut self, frame: Frame) {
+        self.obs(ObsEvent::end(self.obs_now(), track::CLIENT, names::DECODE).with_id(frame.id));
         self.decoding = false;
         self.window_decodes += 1;
 
@@ -915,6 +991,11 @@ impl Sim {
                 // pending frame, which is then never shown.
                 if self.pending_present.replace(frame).is_some() {
                     self.display_drops += 1;
+                    self.obs(ObsEvent::instant(
+                        self.obs_now(),
+                        track::CLIENT,
+                        names::PRESENT_DROP,
+                    ));
                 }
                 if !self.present_scheduled {
                     let clock = odr_core::rvs::VblankClock::new(refresh_hz);
@@ -931,6 +1012,11 @@ impl Sim {
                 if earliest > self.now {
                     if self.pending_present.replace(frame).is_some() {
                         self.display_drops += 1;
+                        self.obs(ObsEvent::instant(
+                            self.obs_now(),
+                            track::CLIENT,
+                            names::PRESENT_DROP,
+                        ));
                     }
                     if !self.present_scheduled {
                         self.events.push(earliest, Event::Present);
@@ -953,6 +1039,7 @@ impl Sim {
     /// The frame reaches the user's eyes: record display metrics and
     /// answer inputs (motion-to-*photon* ends here).
     fn present_now(&mut self, frame: Frame) {
+        self.obs(ObsEvent::instant(self.obs_now(), track::CLIENT, names::PRESENT).with_id(frame.id));
         if self.now >= self.warmup {
             self.frames_displayed += 1;
             let t = self.metric_time();
@@ -1056,6 +1143,7 @@ impl Sim {
         let mut mtp = self.mtp_ms.clone();
         let mtp_stats = mtp.box_stats();
         let (pacing_cv, stutter_rate) = crate::report::pacing_stats(&self.display_intervals_ms);
+        let obs = ObsReport::from_recorder(self.recorder.as_ref());
         Report {
             label: self.cfg.label(),
             render_fps: self.render_rate.mean_rate(measured_end),
@@ -1080,6 +1168,7 @@ impl Sim {
             priority_frames: self.gate.priority_frames(),
             inputs: self.next_input_id,
             traces: self.traces,
+            obs,
         }
     }
 }
@@ -1215,6 +1304,58 @@ mod tests {
             checked += 1;
         }
         assert!(checked > 5, "too few decoded priority frames: {checked}");
+    }
+
+    #[test]
+    fn obs_disabled_report_is_empty_and_unchanged() {
+        let base = cfg(RegulationSpec::odr(FpsGoal::Target(60.0)));
+        let plain = run_experiment(&base);
+        let observed = run_experiment(&base.with_obs());
+        assert!(!plain.obs.enabled);
+        assert!(plain.obs.events.is_empty());
+        // Scalar metrics must not move when capture is on.
+        assert_eq!(plain.client_fps.to_bits(), observed.client_fps.to_bits());
+        assert_eq!(plain.frames_rendered, observed.frames_rendered);
+        assert_eq!(plain.frames_dropped, observed.frames_dropped);
+        assert_eq!(plain.one_line(), observed.one_line());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn obs_capture_covers_every_stage() {
+        use odr_obs::names;
+        let r = run_experiment(&cfg(RegulationSpec::odr(FpsGoal::Target(60.0))).with_obs());
+        assert!(r.obs.enabled);
+        assert!(!r.obs.events.is_empty());
+        for stage in [
+            names::RENDER,
+            names::COPY,
+            names::ENCODE,
+            names::TRANSMIT,
+            names::DECODE,
+            names::PRESENT,
+        ] {
+            let c = r.obs.counters.get(stage).copied().unwrap_or_default();
+            assert!(c.begun > 0, "no {stage} events captured");
+        }
+        // ODR60 on this workload delays most cycles: the regulator track
+        // must show its decisions.
+        let delays = r
+            .obs
+            .counters
+            .get(names::REG_DELAY)
+            .copied()
+            .unwrap_or_default();
+        assert!(delays.begun > 0, "no regulator delays captured");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn obs_capture_is_deterministic() {
+        let base = cfg(RegulationSpec::odr(FpsGoal::Max)).with_obs();
+        let a = run_experiment(&base);
+        let b = run_experiment(&base);
+        assert_eq!(odr_obs::to_jsonl(&a.obs), odr_obs::to_jsonl(&b.obs));
     }
 
     #[test]

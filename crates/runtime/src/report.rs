@@ -29,6 +29,10 @@ pub struct RuntimeReport {
     /// Mean decode PSNR in dB versus the rendered frame
     /// (`f64::INFINITY` when the codec ran lossless).
     pub mean_psnr_db: f64,
+    /// Structured observability capture (per-thread spans, queue waits,
+    /// regulator decisions), populated when
+    /// [`RuntimeConfig::obs`](crate::RuntimeConfig::obs) is set.
+    pub obs: odr_obs::ObsReport,
 }
 
 impl RuntimeReport {
@@ -104,6 +108,11 @@ impl RuntimeReport {
         self.mtp_ms.merge(&other.mtp_ms);
         self.display_intervals_ms.merge(&other.display_intervals_ms);
         self.bytes_sent += other.bytes_sent;
+        // Observability: fold the bounded per-stage counters only — raw
+        // event logs are per-run artefacts and would grow without bound
+        // across a fleet.
+        self.obs.enabled |= other.obs.enabled;
+        self.obs.counters.absorb(&other.obs.counters);
     }
 }
 
@@ -124,6 +133,7 @@ mod tests {
             display_intervals_ms: [16.0, 17.0].into_iter().collect(),
             bytes_sent: 1000,
             mean_psnr_db: psnr,
+            obs: odr_obs::ObsReport::disabled(),
         }
     }
 

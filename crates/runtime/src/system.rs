@@ -9,8 +9,12 @@ use std::{
     time::{Duration, Instant},
 };
 
-use odr_core::{FpsRegulator, PriorityGate, SyncQueue};
+use odr_core::{FpsRegulator, OdrError, PriorityGate, QueueObs, SyncQueue};
 use odr_metrics::Summary;
+use odr_obs::{
+    names, track, Drained, Event as ObsEvent, MonoClock, NullRecorder, ObsReport, Recorder,
+    RingRecorder,
+};
 use odr_raster::{Framebuffer, Rasterizer, Scene};
 
 use crate::report::RuntimeReport;
@@ -66,6 +70,9 @@ pub struct RuntimeConfig {
     pub input_rate_hz: f64,
     /// Seed for the input process.
     pub seed: u64,
+    /// Capture structured observability events (per-thread ring buffers,
+    /// merged into [`RuntimeReport::obs`] at shutdown); off by default.
+    pub obs: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -84,7 +91,18 @@ impl Default for RuntimeConfig {
             quant_bits: 2,
             input_rate_hz: 3.6,
             seed: 7,
+            obs: false,
         }
+    }
+}
+
+/// A fresh ring recorder when capture is requested, the no-op recorder
+/// otherwise.
+fn make_recorder(enabled: bool) -> Arc<dyn Recorder> {
+    if enabled {
+        Arc::new(RingRecorder::default())
+    } else {
+        Arc::new(NullRecorder)
     }
 }
 
@@ -111,12 +129,15 @@ struct WireFrame {
 /// ```no_run
 /// use odr_runtime::{Regulation, RuntimeConfig, System};
 ///
+/// # fn main() -> Result<(), odr_core::OdrError> {
 /// let report = System::new(RuntimeConfig {
 ///     regulation: Regulation::Odr { target_fps: Some(30.0) },
 ///     ..RuntimeConfig::default()
 /// })
-/// .run();
+/// .run()?;
 /// println!("client fps: {:.1}", report.client_fps());
+/// # Ok(())
+/// # }
 /// ```
 pub struct System {
     config: RuntimeConfig,
@@ -131,22 +152,44 @@ impl System {
 
     /// Runs the pipeline for the configured duration and reports.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a pipeline thread panics.
-    #[must_use]
-    pub fn run(self) -> RuntimeReport {
+    /// Returns [`OdrError::Codec`] if the client fails to decode a frame
+    /// and [`OdrError::Thread`] if a pipeline thread panics.
+    pub fn run(self) -> Result<RuntimeReport, OdrError> {
         let cfg = self.config;
         let stop = Arc::new(AtomicBool::new(false));
         let start = Instant::now();
 
+        // One ring per pipeline thread plus one shared by the two
+        // multi-buffers (their events fire from both endpoint threads);
+        // all are drained and merged after the threads join.
+        let clock = MonoClock::start();
+        let rec_app = make_recorder(cfg.obs);
+        let rec_proxy = make_recorder(cfg.obs);
+        let rec_net = make_recorder(cfg.obs);
+        let rec_client = make_recorder(cfg.obs);
+        let rec_queues = make_recorder(cfg.obs);
+
         let odr = matches!(cfg.regulation, Regulation::Odr { .. });
-        let buf1: Arc<SyncQueue<RawFrame>> = if odr {
-            Arc::new(SyncQueue::new_blocking(1))
-        } else {
-            Arc::new(SyncQueue::new_overwriting(1))
+        let buf1: Arc<SyncQueue<RawFrame>> = {
+            let queue = if odr {
+                SyncQueue::new_blocking(1)
+            } else {
+                SyncQueue::new_overwriting(1)
+            };
+            Arc::new(queue.with_obs(QueueObs {
+                recorder: Arc::clone(&rec_queues),
+                track: track::BUF1,
+                clock,
+            }))
         };
-        let buf2: Arc<SyncQueue<WireFrame>> = Arc::new(SyncQueue::new_blocking(1));
+        let buf2: Arc<SyncQueue<WireFrame>> =
+            Arc::new(SyncQueue::new_blocking(1).with_obs(QueueObs {
+                recorder: Arc::clone(&rec_queues),
+                track: track::BUF2,
+                clock,
+            }));
         let (to_client, from_net) = mpsc::channel::<(WireFrame, Instant)>();
         let (input_tx, input_rx) = mpsc::channel::<Instant>();
 
@@ -166,6 +209,7 @@ impl System {
             let stop = Arc::clone(&stop);
             let rendered = Arc::clone(&rendered);
             let priority_n = Arc::clone(&priority_n);
+            let rec = Arc::clone(&rec_app);
             thread::spawn(move || {
                 let mut scene = Scene::new(cfg.base_objects, cfg.object_swing);
                 let mut raster = Rasterizer::new();
@@ -194,8 +238,18 @@ impl System {
                     }
                     let is_priority = odr && gate.begin_frame().is_some();
 
+                    if rec.enabled() {
+                        rec.record(
+                            ObsEvent::begin(clock.now_ns(), track::APP, names::RENDER).with_id(seq),
+                        );
+                    }
                     let t = start.elapsed().as_secs_f32();
                     scene.render(&mut raster, &mut fb, t);
+                    if rec.enabled() {
+                        rec.record(
+                            ObsEvent::end(clock.now_ns(), track::APP, names::RENDER).with_id(seq),
+                        );
+                    }
                     let frame = RawFrame {
                         seq,
                         input_tag: oldest,
@@ -222,6 +276,7 @@ impl System {
             let buf1 = Arc::clone(&buf1);
             let buf2 = Arc::clone(&buf2);
             let encoded_n = Arc::clone(&encoded_n);
+            let rec = Arc::clone(&rec_proxy);
             thread::spawn(move || {
                 let mut encoder = odr_codec::Encoder::new(cfg.width, cfg.height, cfg.quant_bits);
                 let mut regulator = match cfg.regulation {
@@ -232,7 +287,19 @@ impl System {
                 };
                 while let Some(raw) = buf1.pop_blocking() {
                     let cycle_start = Instant::now();
+                    if rec.enabled() {
+                        rec.record(
+                            ObsEvent::begin(clock.now_ns(), track::PROXY, names::ENCODE)
+                                .with_id(raw.seq),
+                        );
+                    }
                     let out = encoder.encode(&raw.rgba);
+                    if rec.enabled() {
+                        rec.record(
+                            ObsEvent::end(clock.now_ns(), track::PROXY, names::ENCODE)
+                                .with_id(raw.seq),
+                        );
+                    }
                     encoded_n.fetch_add(1, Ordering::Relaxed);
                     let mask = !0u8 << cfg.quant_bits;
                     let source: Vec<u8> = raw.rgba.iter().map(|&b| b & mask).collect();
@@ -253,10 +320,18 @@ impl System {
                     // Algorithm 1: delay or accelerate. A priority frame's
                     // pending sleep is skipped (latency first), with the
                     // balance preserved.
-                    let sleep = regulator.on_frame_processed(cycle_start.elapsed());
+                    let sleep = regulator.on_frame_processed_recorded(
+                        cycle_start.elapsed(),
+                        clock.now_ns(),
+                        rec.as_ref(),
+                    );
                     if sleep > Duration::ZERO {
                         if priority {
-                            regulator.cancel_pending_sleep(sleep);
+                            regulator.cancel_pending_sleep_recorded(
+                                sleep,
+                                clock.now_ns(),
+                                rec.as_ref(),
+                            );
                         } else {
                             thread::sleep(sleep);
                         }
@@ -271,12 +346,19 @@ impl System {
         let net = {
             let buf2 = Arc::clone(&buf2);
             let bytes_n = Arc::clone(&bytes_n);
+            let rec = Arc::clone(&rec_net);
             thread::spawn(move || {
                 while let Some(frame) = buf2.pop_blocking() {
                     let tx = Duration::from_secs_f64(
                         frame.data.len() as f64 * 8.0 / cfg.net_bandwidth_bps,
                     );
+                    if rec.enabled() {
+                        rec.record(ObsEvent::begin(clock.now_ns(), track::NET, names::TRANSMIT));
+                    }
                     thread::sleep(tx);
+                    if rec.enabled() {
+                        rec.record(ObsEvent::end(clock.now_ns(), track::NET, names::TRANSMIT));
+                    }
                     bytes_n.fetch_add(frame.data.len() as u64, Ordering::Relaxed);
                     let arrival = Instant::now() + cfg.net_latency;
                     if to_client.send((frame, arrival)).is_err() {
@@ -292,7 +374,8 @@ impl System {
             let mtp = Arc::clone(&mtp);
             let intervals = Arc::clone(&intervals);
             let psnr_sum = Arc::clone(&psnr_sum);
-            thread::spawn(move || {
+            let rec = Arc::clone(&rec_client);
+            thread::spawn(move || -> Result<(), OdrError> {
                 let mut decoder = odr_codec::Decoder::new(cfg.width, cfg.height);
                 let mut last_display: Option<Instant> = None;
                 while let Ok((frame, arrival)) = from_net.recv() {
@@ -300,27 +383,37 @@ impl System {
                     if arrival > now {
                         thread::sleep(arrival - now);
                     }
-                    match decoder.decode(&frame.data) {
-                        Ok(rgba) => {
-                            displayed.fetch_add(1, Ordering::Relaxed);
-                            let shown = Instant::now();
-                            if let Some(last) = last_display {
-                                lock(&intervals).record((shown - last).as_secs_f64() * 1e3);
-                            }
-                            last_display = Some(shown);
-                            if let Some(created) = frame.input_tag {
-                                lock(&mtp).record(created.elapsed().as_secs_f64() * 1e3);
-                            }
-                            let p = odr_codec::psnr(&frame.source, &rgba);
-                            if p.is_finite() {
-                                let mut guard = lock(&psnr_sum);
-                                guard.0 += p;
-                                guard.1 += 1;
-                            }
-                        }
-                        Err(err) => panic!("client decode failed: {err}"),
+                    if rec.enabled() {
+                        rec.record(ObsEvent::begin(clock.now_ns(), track::CLIENT, names::DECODE));
+                    }
+                    let rgba = decoder.decode(&frame.data).map_err(OdrError::codec)?;
+                    if rec.enabled() {
+                        rec.record(ObsEvent::end(clock.now_ns(), track::CLIENT, names::DECODE));
+                    }
+                    displayed.fetch_add(1, Ordering::Relaxed);
+                    let shown = Instant::now();
+                    if rec.enabled() {
+                        rec.record(ObsEvent::instant(
+                            clock.now_ns(),
+                            track::CLIENT,
+                            names::PRESENT,
+                        ));
+                    }
+                    if let Some(last) = last_display {
+                        lock(&intervals).record((shown - last).as_secs_f64() * 1e3);
+                    }
+                    last_display = Some(shown);
+                    if let Some(created) = frame.input_tag {
+                        lock(&mtp).record(created.elapsed().as_secs_f64() * 1e3);
+                    }
+                    let p = odr_codec::psnr(&frame.source, &rgba);
+                    if p.is_finite() {
+                        let mut guard = lock(&psnr_sum);
+                        guard.0 += p;
+                        guard.1 += 1;
                     }
                 }
+                Ok(())
             })
         };
 
@@ -348,19 +441,35 @@ impl System {
         buf1.close();
         for (name, handle) in [("app", app), ("proxy", proxy), ("network", net)] {
             if handle.join().is_err() {
-                panic!("{name} thread panicked");
+                return Err(OdrError::thread(name, "panicked"));
             }
         }
         drop(input_tx);
         // `to_client` was moved into the network thread and dropped with
         // it, so the client drains and exits.
-        if client.join().is_err() {
-            panic!("client thread panicked");
+        match client.join() {
+            Ok(outcome) => outcome?,
+            Err(_) => return Err(OdrError::thread("client", "panicked")),
         }
+
+        // Merge the per-thread rings into one capture. Runtime traces use
+        // wall-clock timestamps, so unlike the simulator's they are not
+        // run-to-run reproducible — only internally consistent.
+        let mut drained = Drained::default();
+        let mut captured = false;
+        for rec in [&rec_app, &rec_proxy, &rec_net, &rec_client, &rec_queues] {
+            captured |= rec.enabled();
+            drained.merge(rec.drain());
+        }
+        let obs = if captured {
+            ObsReport::from_drained(drained)
+        } else {
+            ObsReport::disabled()
+        };
 
         let elapsed = start.elapsed().as_secs_f64();
         let (psnr_total, psnr_count) = *lock(&psnr_sum);
-        RuntimeReport {
+        Ok(RuntimeReport {
             elapsed_secs: elapsed,
             frames_rendered: rendered.load(Ordering::Relaxed),
             frames_encoded: encoded_n.load(Ordering::Relaxed),
@@ -380,7 +489,8 @@ impl System {
             } else {
                 psnr_total / psnr_count as f64
             },
-        }
+            obs,
+        })
     }
 }
 
@@ -407,7 +517,7 @@ mod tests {
         // regardless of host speed.
         let mut cfg = small(Regulation::NoReg);
         cfg.net_bandwidth_bps = 8e6;
-        let r = System::new(cfg).run();
+        let r = System::new(cfg).run().expect("pipeline run");
         assert!(r.frames_rendered > r.frames_displayed, "{r:?}");
         assert!(r.frames_dropped > 0, "no drops under NoReg: {r:?}");
         assert!(r.frames_displayed > 10);
@@ -415,7 +525,7 @@ mod tests {
 
     #[test]
     fn odrmax_render_tracks_display() {
-        let r = System::new(small(Regulation::Odr { target_fps: None })).run();
+        let r = System::new(small(Regulation::Odr { target_fps: None })).run().expect("pipeline run");
         // Multi-buffering: rendering outpaces display only by the frames
         // in flight plus priority flushes.
         let inflight = 4 + r.priority_frames;
@@ -435,7 +545,7 @@ mod tests {
         });
         cfg.input_rate_hz = 0.0;
         cfg.duration = Duration::from_millis(1500);
-        let r = System::new(cfg).run();
+        let r = System::new(cfg).run().expect("pipeline run");
         let fps = r.client_fps();
         assert!((15.0..=24.0).contains(&fps), "client fps {fps}");
     }
@@ -445,7 +555,7 @@ mod tests {
         let mut cfg = small(Regulation::Interval { fps: 20.0 });
         cfg.input_rate_hz = 0.0;
         cfg.duration = Duration::from_millis(1500);
-        let r = System::new(cfg).run();
+        let r = System::new(cfg).run().expect("pipeline run");
         let fps = r.render_fps();
         assert!((14.0..=24.0).contains(&fps), "render fps {fps}");
     }
@@ -456,7 +566,7 @@ mod tests {
             target_fps: Some(30.0),
         });
         cfg.input_rate_hz = 8.0;
-        let r = System::new(cfg).run();
+        let r = System::new(cfg).run().expect("pipeline run");
         assert!(r.inputs > 0);
         assert!(r.mtp_ms.count() > 0, "no MtP samples: {r:?}");
         assert!(r.mtp_mean_ms() < 1000.0);
@@ -468,11 +578,42 @@ mod tests {
             target_fps: Some(30.0),
         });
         cfg.input_rate_hz = 0.0;
-        let r = System::new(cfg).run();
+        let r = System::new(cfg).run().expect("pipeline run");
         assert!(r.display_intervals_ms.count() > 10);
         let mean = r.display_intervals_ms.mean();
         assert!((20.0..=50.0).contains(&mean), "mean interval {mean} ms");
         assert!(r.pacing_cv() < 1.5, "cv {}", r.pacing_cv());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn obs_capture_merges_every_thread() {
+        let mut cfg = small(Regulation::Odr {
+            target_fps: Some(30.0),
+        });
+        cfg.obs = true;
+        let r = System::new(cfg).run().expect("pipeline run");
+        assert!(r.obs.enabled);
+        assert!(!r.obs.events.is_empty());
+        for stage in [
+            odr_obs::names::RENDER,
+            odr_obs::names::ENCODE,
+            odr_obs::names::TRANSMIT,
+            odr_obs::names::DECODE,
+            odr_obs::names::PRESENT,
+        ] {
+            let c = r.obs.counters.get(stage).copied().unwrap_or_default();
+            assert!(c.begun > 0, "no {stage} events captured");
+        }
+    }
+
+    #[test]
+    fn obs_off_report_is_disabled() {
+        let r = System::new(small(Regulation::NoReg))
+            .run()
+            .expect("pipeline run");
+        assert!(!r.obs.enabled);
+        assert!(r.obs.events.is_empty());
     }
 
     #[test]
@@ -480,7 +621,7 @@ mod tests {
         let mut cfg = small(Regulation::Odr { target_fps: None });
         cfg.quant_bits = 0;
         cfg.input_rate_hz = 0.0;
-        let r = System::new(cfg).run();
+        let r = System::new(cfg).run().expect("pipeline run");
         assert_eq!(r.mean_psnr_db, f64::INFINITY, "lossless must be exact");
         assert!(r.bytes_sent > 0);
     }

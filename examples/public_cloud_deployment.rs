@@ -25,7 +25,9 @@ fn main() {
         let scenario = Scenario::new(benchmark, Resolution::R720p, Platform::Gce);
         let run = |spec: RegulationSpec| {
             run_experiment(
-                &ExperimentConfig::new(scenario, spec).with_duration(Duration::from_secs(60)),
+                &ExperimentConfig::builder(scenario, spec)
+            .duration(Duration::from_secs(60))
+            .build(),
             )
         };
         let noreg = run(RegulationSpec::NoReg);

@@ -22,7 +22,9 @@ fn main() {
         RegulationSpec::NoReg,
         RegulationSpec::odr(FpsGoal::Target(60.0)),
     ] {
-        let config = ExperimentConfig::new(scenario, spec).with_duration(Duration::from_secs(60));
+        let config = ExperimentConfig::builder(scenario, spec)
+            .duration(Duration::from_secs(60))
+            .build();
         let report = run_experiment(&config);
         rows.push(report);
     }

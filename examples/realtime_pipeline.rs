@@ -37,7 +37,9 @@ fn main() {
         "config", "render fps", "client fps", "drops", "MtP(ms)", "bitrate", "priority"
     );
     for (label, regulation) in configs {
-        let report = System::new(RuntimeConfig { regulation, ..base }).run();
+        let report = System::new(RuntimeConfig { regulation, ..base })
+            .run()
+            .expect("pipeline run");
         println!(
             "{:<8} {:>11.1} {:>11.1} {:>8} {:>9.1} {:>8.2}Mb/s {:>9}",
             label,

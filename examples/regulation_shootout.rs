@@ -36,7 +36,9 @@ fn main() {
         "config", "render", "client", "gap avg", "gap max", "MtP(ms)", "IPC", "power"
     );
     for spec in specs {
-        let cfg = ExperimentConfig::new(scenario, spec).with_duration(Duration::from_secs(90));
+        let cfg = ExperimentConfig::builder(scenario, spec)
+            .duration(Duration::from_secs(90))
+            .build();
         let r = run_experiment(&cfg);
         println!(
             "{:<13} {:>10.1} {:>10.1} {:>9.1} {:>9.1} {:>9.1} {:>8.2} {:>7.0}W",

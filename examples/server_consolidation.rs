@@ -36,7 +36,9 @@ fn main() {
         for benchmark in Benchmark::ALL {
             let scenario = Scenario::new(benchmark, Resolution::R720p, Platform::PrivateCloud);
             let report = run_experiment(
-                &ExperimentConfig::new(scenario, spec).with_duration(Duration::from_secs(60)),
+                &ExperimentConfig::builder(scenario, spec)
+            .duration(Duration::from_secs(60))
+            .build(),
             );
             let u = report.memory.utilisation;
             gpu += u[client_index(MemClient::Render)];

@@ -29,7 +29,9 @@ fn main() {
             RegulationSpec::odr(FpsGoal::Max),
         ] {
             let report = run_experiment(
-                &ExperimentConfig::new(scenario, spec).with_duration(Duration::from_secs(60)),
+                &ExperimentConfig::builder(scenario, spec)
+            .duration(Duration::from_secs(60))
+            .build(),
             );
             let mean_ok = report.mtp_stats.mean <= VR_BUDGET_MS;
             let tail_ok = report.mtp_stats.p99 <= VR_BUDGET_MS * 2.0;

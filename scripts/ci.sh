@@ -17,6 +17,15 @@ cargo bench --no-run --workspace
 echo "== odr-check: lint + swap-protocol model checker =="
 cargo run --release -q -p odr-check -- --deny-warnings --verbose
 
+echo "== observability feature matrix =="
+# The obs capture path is a default-on feature; both halves of the
+# matrix must build, and the obs crate's own suite must pass with
+# capture compiled out (zero-cost build) and compiled in.
+cargo build --release -p cloud3d-odr --no-default-features
+cargo build --release -p odr-bench --no-default-features
+cargo test -q -p odr-obs
+cargo test -q -p odr-obs --no-default-features
+
 echo "== fleet determinism differential (1 thread vs all cores) =="
 # The fleet engine promises byte-identical reports regardless of worker
 # count. Exercise that promise end-to-end through the odrsim CLI: same
@@ -37,6 +46,25 @@ if ! cmp -s "$out_serial" "$out_parallel"; then
     exit 1
 fi
 echo "fleet report identical on 1 vs $threads thread(s)"
+
+echo "== fleet tracing differential (capture on vs off) =="
+# Enabling observability capture must not change a single byte of the
+# rendered fleet report: the counters live in a side field the text
+# renderer never touches.
+out_traced="$(mktemp)"
+trace_file="$(mktemp)"
+trap 'rm -f "$out_serial" "$out_parallel" "$out_traced" "$trace_file"' EXIT
+cargo run --release -q -p odr-bench --bin odrsim -- \
+    --benchmark IM --regulation odr --target 60 --duration 5 --seed 42 \
+    --sessions 12 --threads "$threads" \
+    --trace-out "$trace_file" --trace-format jsonl >"$out_traced" 2>/dev/null
+if ! cmp -s "$out_serial" "$out_traced"; then
+    echo "fleet tracing differential FAILED: capture on vs off differ" >&2
+    diff "$out_serial" "$out_traced" | head -20 >&2
+    exit 1
+fi
+test -s "$trace_file" || { echo "tracing produced no output" >&2; exit 1; }
+echo "fleet report identical with tracing on vs off"
 
 echo "== fleet scaling (64 sessions, 1 vs 8 threads) =="
 cargo run --release -q -p odr-bench --bin fleet_scaling

@@ -18,6 +18,10 @@
 //!   codec, and a real multi-threaded pipeline that runs the same ODR
 //!   primitives against wall-clock time;
 //! * [`qoe`] — the user-study model (Figures 14–15);
+//! * [`fleet`] — N independent sessions reduced into one deterministic
+//!   fleet report;
+//! * [`obs`] — the structured observability layer: sim-time-stamped
+//!   spans and counters with JSONL and Chrome-trace exporters;
 //! * [`metrics`] / [`simtime`] — measurement and deterministic-simulation
 //!   primitives.
 //!
@@ -27,8 +31,9 @@
 //! use cloud3d_odr::prelude::*;
 //!
 //! let scenario = Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud);
-//! let config = ExperimentConfig::new(scenario, RegulationSpec::odr(FpsGoal::Target(60.0)))
-//!     .with_duration(Duration::from_secs(20));
+//! let config = ExperimentConfig::builder(scenario, RegulationSpec::odr(FpsGoal::Target(60.0)))
+//!     .duration(Duration::from_secs(20))
+//!     .build();
 //! let report = run_experiment(&config);
 //! assert!((report.client_fps - 60.0).abs() < 3.0);
 //! assert!(report.fps_gap_avg < 6.0);
@@ -39,9 +44,11 @@
 
 pub use odr_codec as codec;
 pub use odr_core as odr;
+pub use odr_fleet as fleet;
 pub use odr_memsim as memsim;
 pub use odr_metrics as metrics;
 pub use odr_netsim as netsim;
+pub use odr_obs as obs;
 pub use odr_pipeline as pipeline;
 pub use odr_qoe as qoe;
 pub use odr_raster as raster;
@@ -49,12 +56,22 @@ pub use odr_runtime as runtime;
 pub use odr_simtime as simtime;
 pub use odr_workload as workload;
 
-/// The types most programs need.
+/// The types most programs need: configuration builders, the experiment
+/// and fleet entry points, the error type, and the observability
+/// recorder/exporter surface.
 pub mod prelude {
     pub use odr_core::{
-        FpsGoal, FpsRegulator, OdrOptions, PriorityGate, RegulationSpec, SyncQueue,
+        FpsGoal, FpsRegulator, OdrError, OdrOptions, OdrResult, PriorityGate, RegulationSpec,
+        SyncQueue,
     };
-    pub use odr_pipeline::{run_experiment, run_suite, ExperimentConfig, Report};
+    pub use odr_fleet::{run_fleet, FleetConfig, FleetConfigBuilder, FleetReport};
+    pub use odr_obs::{
+        to_chrome_trace, to_jsonl, NullRecorder, ObsReport, Recorder, RingRecorder,
+    };
+    pub use odr_pipeline::{
+        run_experiment, run_suite, ClientDisplay, ExperimentConfig, ExperimentConfigBuilder,
+        Report,
+    };
     pub use odr_qoe::{Panel, QoeSample};
     pub use odr_runtime::{Regulation, RuntimeConfig, System};
     pub use odr_simtime::{Duration, Rng, SimTime};

@@ -10,9 +10,10 @@ fn experiment(seed: u64) -> Report {
         Platform::PrivateCloud,
     );
     run_experiment(
-        &ExperimentConfig::new(scenario, RegulationSpec::odr(FpsGoal::Target(60.0)))
-            .with_duration(Duration::from_secs(20))
-            .with_seed(seed),
+        &ExperimentConfig::builder(scenario, RegulationSpec::odr(FpsGoal::Target(60.0)))
+            .duration(Duration::from_secs(20))
+            .seed(seed)
+            .build(),
     )
 }
 
@@ -74,8 +75,9 @@ fn local_and_panel_paths_are_reproducible() {
         Resolution::R1080p,
         Platform::NonCloud,
     );
-    let cfg = ExperimentConfig::new(scenario, RegulationSpec::NoReg)
-        .with_duration(Duration::from_secs(15));
+    let cfg = ExperimentConfig::builder(scenario, RegulationSpec::NoReg)
+        .duration(Duration::from_secs(15))
+        .build();
     let a = run_experiment(&cfg);
     let b = run_experiment(&cfg);
     assert_eq!(a.client_fps.to_bits(), b.client_fps.to_bits());

@@ -49,13 +49,14 @@ fn assert_matches_golden(name: &str, actual: &str) {
 
 fn odr60_report() -> Report {
     run_experiment(
-        &ExperimentConfig::new(
+        &ExperimentConfig::builder(
             Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud),
             RegulationSpec::odr(FpsGoal::Target(60.0)),
         )
-        .with_duration(Duration::from_secs(3))
-        .with_seed(7)
-        .with_trace(),
+        .duration(Duration::from_secs(3))
+        .seed(7)
+        .trace(true)
+        .build(),
     )
 }
 

@@ -11,8 +11,9 @@ fn cfg(
     spec: RegulationSpec,
     secs: u64,
 ) -> ExperimentConfig {
-    ExperimentConfig::new(Scenario::new(benchmark, resolution, platform), spec)
-        .with_duration(Duration::from_secs(secs))
+    ExperimentConfig::builder(Scenario::new(benchmark, resolution, platform), spec)
+        .duration(Duration::from_secs(secs))
+        .build()
 }
 
 /// Section 6.3: ODR meets the 60 FPS target on every benchmark at 720p on
@@ -290,14 +291,16 @@ fn realtime_runtime_matches_simulator_qualitatively() {
         regulation: Regulation::NoReg,
         ..base
     })
-    .run();
+    .run()
+    .expect("noreg run");
     let odr = System::new(RuntimeConfig {
         regulation: Regulation::Odr {
             target_fps: Some(25.0),
         },
         ..base
     })
-    .run();
+    .run()
+    .expect("odr run");
     assert!(noreg.frames_dropped > 0);
     assert!(odr.client_fps() < noreg.client_fps());
     assert!(

@@ -410,12 +410,10 @@ fn check_pipeline_conservation(
     let benchmark = Benchmark::ALL[bench_idx];
     let platform = if gce { Platform::Gce } else { Platform::PrivateCloud };
     let spec = RegulationSpec::evaluation_set(60.0)[spec_idx];
-    let cfg = ExperimentConfig::new(
-        Scenario::new(benchmark, Resolution::R720p, platform),
-        spec,
-    )
-    .with_duration(Duration::from_secs(6))
-    .with_seed(seed);
+    let cfg = ExperimentConfig::builder(Scenario::new(benchmark, Resolution::R720p, platform), spec)
+        .duration(Duration::from_secs(6))
+        .seed(seed)
+        .build();
     let r = run_experiment(&cfg);
 
     // Rendered/displayed are counted post-warm-up; under congestion,
