@@ -1,16 +1,31 @@
 //! `odr-check`: in-repo correctness tooling for the ODR simulator.
 //!
-//! Two halves, one entry point (`cargo run -p odr-check`):
+//! One entry point (`cargo run -p odr-check`), several layers:
 //!
-//! * [`lint`] — a std-only source scanner enforcing determinism,
-//!   panic-hygiene and documentation rules across the workspace (see
-//!   `DESIGN.md` §7 for the rule catalogue and `odr-check.allow` for
-//!   the suppression format);
+//! * [`lex`] / [`items`] — a std-only Rust lexer (strings, raw strings,
+//!   char literals, nested block comments) and a lightweight item
+//!   extractor; every analysis pass is built on these, so no rule ever
+//!   fires inside a string literal or comment;
+//! * [`lint`] — the rule passes: determinism, panic hygiene, docs,
+//!   feature-gate consistency and the time-unit suffix audit (see
+//!   `DESIGN.md` §7 and §10 for the catalogue, `odr-check.allow` for the
+//!   suppression format);
+//! * [`locks`] — the lock-discipline pass: guard-scope tracking over the
+//!   blocking runtime modules, flagging blocking calls made while a lock
+//!   guard is live and inconsistent pairwise lock acquisition order;
+//! * [`api`] — the API-surface snapshot: every `pub` item in the
+//!   workspace rendered into a sorted, byte-deterministic
+//!   `api-surface.txt`, with `odr-check api --check` failing on
+//!   undeclared diffs;
 //! * [`model`] — a deterministic loom-style model checker that explores
 //!   bounded thread interleavings of the real
 //!   [`odr_core::SwapState`] swap protocol and asserts the paper's
 //!   multi-buffer semantics (no deadlock, no lost wakeup, no
 //!   reordering, conservation, bounded occupancy).
 
+pub mod api;
+pub mod items;
+pub mod lex;
 pub mod lint;
+pub mod locks;
 pub mod model;

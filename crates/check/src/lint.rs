@@ -1,8 +1,12 @@
-//! The `odr-check` lint pass: a lightweight, std-only line/token scanner
-//! that enforces repo invariants over `crates/*/src/**/*.rs` and
-//! `src/**/*.rs`.
+//! The `odr-check` lint pass: token-level rule families enforced over
+//! `crates/*/src/**/*.rs`, the root `src/` and the shim crates.
 //!
-//! Three rule families (see DESIGN.md §7):
+//! Since PR 4 every rule is hosted on the real lexer ([`crate::lex`]), so
+//! nothing fires inside string literals, char literals, doc comments or
+//! nested block comments — including multi-line raw strings, which the
+//! old line scanner could not see past.
+//!
+//! Rule families (see DESIGN.md §7 and §10):
 //!
 //! * **Determinism** — the pure-simulation crates must stay bit-for-bit
 //!   seed-deterministic, so wall-clock reads (`Instant::now`,
@@ -12,17 +16,36 @@
 //!   this tool) are exempt.
 //! * **Panic hygiene** — no `.unwrap()` / `.expect(` in non-test library
 //!   code anywhere in the workspace.
-//! * **Docs** — every public item in `odr-core` carries a doc comment.
+//! * **Docs** — every public item in `odr-core` and `odr-obs` carries a
+//!   doc comment.
+//! * **Feature gates** — every `feature = "..."` name used in a crate's
+//!   sources must be declared in that crate's `Cargo.toml`, and
+//!   `capture`-gated items in `odr-obs` must have a
+//!   `#[cfg(not(feature = "capture"))]` fallback twin so the disabled
+//!   build keeps the same API.
+//! * **Time units** — arithmetic and comparisons must not mix
+//!   identifiers with conflicting `_ns`/`_us`/`_ms` suffixes, and bare
+//!   integer literals must not be assigned to unit-suffixed names
+//!   outside `simtime` (use a constructor or a named constant; literal
+//!   `0` is exempt as unit-polymorphic).
+//! * **Lock discipline** — see [`crate::locks`]: no blocking calls while
+//!   a guard is live, no pairwise lock-order inversions.
 //!
 //! Suppression is explicit and always carries a reason: either a line in
 //! the allowlist file (`odr-check.allow`, pipe-separated) or an inline
 //! `// lint: allow(<rule>) -- <reason>` trailer on the offending line.
+//! The same mechanism covers every pass, including lock discipline.
 //! Unknown rules and unused allowlist entries are warnings (fatal under
 //! `--deny-warnings`).
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+
+use crate::items::{parse_items, Item};
+use crate::lex::{lex, LexedFile, TokKind, Token};
+use crate::locks;
 
 /// Crates whose sources must stay seed-deterministic. `fleet` spawns
 /// OS threads but still belongs here: thread *scheduling* is made
@@ -56,6 +79,12 @@ pub const ALL_RULES: &[&str] = &[
     "panic/unwrap",
     "panic/expect",
     "doc/missing",
+    "feature/undeclared",
+    "feature/no-fallback",
+    "units/mixed-suffix",
+    "units/bare-literal",
+    "lock/blocking-call",
+    "lock/order",
 ];
 
 /// One rule breach at a specific source line.
@@ -186,116 +215,6 @@ pub struct LintReport {
     pub suppressed: usize,
 }
 
-/// Strips comments, string literals and char literals, preserving line
-/// structure, so token scans don't fire inside docs or strings.
-/// Doc-comment *detection* uses the raw lines instead.
-struct Stripper {
-    block_depth: usize,
-}
-
-impl Stripper {
-    fn new() -> Self {
-        Stripper { block_depth: 0 }
-    }
-
-    fn strip_line(&mut self, line: &str) -> String {
-        let bytes = line.as_bytes();
-        let mut out = String::with_capacity(line.len());
-        let mut i = 0;
-        while i < bytes.len() {
-            if self.block_depth > 0 {
-                if bytes[i..].starts_with(b"*/") {
-                    self.block_depth -= 1;
-                    i += 2;
-                } else if bytes[i..].starts_with(b"/*") {
-                    self.block_depth += 1;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-                continue;
-            }
-            match bytes[i] {
-                b'/' if bytes[i..].starts_with(b"//") => break,
-                b'/' if bytes[i..].starts_with(b"/*") => {
-                    self.block_depth += 1;
-                    i += 2;
-                }
-                b'"' => {
-                    // Skip a (possibly escaped) string literal.
-                    i += 1;
-                    while i < bytes.len() {
-                        match bytes[i] {
-                            b'\\' => i += 2,
-                            b'"' => {
-                                i += 1;
-                                break;
-                            }
-                            _ => i += 1,
-                        }
-                    }
-                    out.push_str("\"\"");
-                }
-                b'r' if bytes[i..].starts_with(b"r\"") || bytes[i..].starts_with(b"r#") => {
-                    // Raw string: r"..." or r#"..."#; find the closing
-                    // quote with the same number of hashes.
-                    let mut hashes = 0;
-                    let mut j = i + 1;
-                    while j < bytes.len() && bytes[j] == b'#' {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if j < bytes.len() && bytes[j] == b'"' {
-                        j += 1;
-                        let closer: Vec<u8> =
-                            std::iter::once(b'"').chain(std::iter::repeat(b'#').take(hashes)).collect();
-                        while j < bytes.len() && !bytes[j..].starts_with(&closer) {
-                            j += 1;
-                        }
-                        i = (j + closer.len()).min(bytes.len());
-                        out.push_str("\"\"");
-                    } else {
-                        out.push('r');
-                        i += 1;
-                    }
-                }
-                b'\'' => {
-                    // Char literal vs lifetime: a char literal closes
-                    // within a few bytes; a lifetime never has a closing
-                    // quote nearby.
-                    let rest = &bytes[i + 1..];
-                    let is_char = match rest.first() {
-                        Some(b'\\') => true,
-                        Some(_) => rest.get(1) == Some(&b'\''),
-                        None => false,
-                    };
-                    if is_char {
-                        let mut j = i + 1;
-                        if bytes.get(j) == Some(&b'\\') {
-                            j += 2;
-                        } else {
-                            j += 1;
-                        }
-                        while j < bytes.len() && bytes[j] != b'\'' {
-                            j += 1;
-                        }
-                        i = (j + 1).min(bytes.len());
-                        out.push_str("' '");
-                    } else {
-                        out.push('\'');
-                        i += 1;
-                    }
-                }
-                b => {
-                    out.push(b as char);
-                    i += 1;
-                }
-            }
-        }
-        out
-    }
-}
-
 /// Which crate (directory name under `crates/`, or `""` for the root
 /// `src/`) a path belongs to.
 fn crate_of(rel_path: &str) -> &str {
@@ -323,66 +242,89 @@ fn inline_allow(raw_line: &str, rule: &str) -> bool {
     false
 }
 
-struct FileScan<'a> {
-    rel_path: String,
-    raw_lines: Vec<&'a str>,
-    stripped: Vec<String>,
+/// One lexed, item-parsed source file with the derived per-line views
+/// every pass shares.
+pub struct FileScan {
+    /// Path relative to the repo root (`/`-separated).
+    pub rel_path: String,
+    /// Raw source lines (for inline-allow trailers and reports).
+    pub raw_lines: Vec<String>,
+    /// The token stream plus code/doc line views.
+    pub lexed: LexedFile,
+    /// The extracted item tree.
+    pub items: Vec<Item>,
     /// Per line: inside a `#[cfg(test)]` item (or a `tests/` file).
-    in_test: Vec<bool>,
+    pub in_test: Vec<bool>,
 }
 
-impl<'a> FileScan<'a> {
-    fn new(rel_path: String, text: &'a str) -> Self {
-        let raw_lines: Vec<&str> = text.lines().collect();
-        let mut stripper = Stripper::new();
-        let stripped: Vec<String> = raw_lines.iter().map(|l| stripper.strip_line(l)).collect();
+/// Lexes and item-parses one file into a [`FileScan`].
+#[must_use]
+pub fn scan_file(rel_path: &str, text: &str) -> FileScan {
+    let raw_lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let lexed = lex(text);
+    let items = parse_items(&lexed);
 
-        // Mark test regions: a `#[cfg(test)]`/`#[cfg(all(test, ...))]`
-        // attribute covers the next item's braces.
-        let mut in_test = vec![false; raw_lines.len()];
-        let mut depth: i32 = 0;
-        let mut pending_attr = false;
-        let mut test_exit_depth: Option<i32> = None;
-        for (i, s) in stripped.iter().enumerate() {
-            let trimmed = s.trim();
-            if test_exit_depth.is_none()
-                && (trimmed.starts_with("#[cfg(test)") || trimmed.starts_with("#[cfg(all(test"))
-            {
-                pending_attr = true;
-            }
-            if pending_attr || test_exit_depth.is_some() {
-                in_test[i] = true;
-            }
-            let opens = s.matches('{').count() as i32;
-            let closes = s.matches('}').count() as i32;
-            if pending_attr && opens > 0 {
-                test_exit_depth = Some(depth);
-                pending_attr = false;
-            }
-            depth += opens - closes;
-            if test_exit_depth.is_some_and(|exit| depth <= exit) {
-                test_exit_depth = None;
+    // Mark test regions: a `#[cfg(test)]`/`#[cfg(all(test, ...))]`
+    // attribute covers the next item's braces. Brace counting runs on
+    // the lexer's code view, so braces inside literals don't skew it.
+    let mut in_test = vec![false; raw_lines.len()];
+    let mut depth: i32 = 0;
+    let mut pending_attr = false;
+    let mut test_exit_depth: Option<i32> = None;
+    for (i, s) in lexed.code.iter().enumerate() {
+        let trimmed = s.trim();
+        if test_exit_depth.is_none()
+            && (trimmed.starts_with("#[cfg(test)") || trimmed.starts_with("#[cfg(all(test"))
+        {
+            pending_attr = true;
+        }
+        let opens = s.matches('{').count() as i32;
+        let closes = s.matches('}').count() as i32;
+        if pending_attr || test_exit_depth.is_some() {
+            if let Some(t) = in_test.get_mut(i) {
+                *t = true;
             }
         }
-
-        FileScan {
-            rel_path,
-            raw_lines,
-            stripped,
-            in_test,
+        if pending_attr && opens > 0 {
+            test_exit_depth = Some(depth);
+            pending_attr = false;
         }
+        depth += opens - closes;
+        if test_exit_depth.is_some_and(|exit| depth <= exit) {
+            test_exit_depth = None;
+        }
+    }
+
+    FileScan {
+        rel_path: rel_path.to_string(),
+        raw_lines,
+        lexed,
+        items,
+        in_test,
     }
 }
 
-fn push_violation(
+impl FileScan {
+    fn raw_line(&self, idx: usize) -> &str {
+        self.raw_lines.get(idx).map_or("", String::as_str)
+    }
+
+    fn in_test_line(&self, idx: usize) -> bool {
+        self.in_test.get(idx).copied().unwrap_or(false)
+    }
+}
+
+/// Routes one candidate violation through the inline and allowlist
+/// suppression mechanisms shared by every pass.
+pub fn push_violation(
     report: &mut LintReport,
     allow: &Allowlist,
-    scan: &FileScan<'_>,
+    scan: &FileScan,
     line_idx: usize,
     rule: &'static str,
     message: String,
 ) {
-    let raw = scan.raw_lines[line_idx];
+    let raw = scan.raw_line(line_idx);
     if inline_allow(raw, rule) || allow.permits(rule, &scan.rel_path, raw) {
         report.suppressed += 1;
         return;
@@ -395,7 +337,9 @@ fn push_violation(
     });
 }
 
-fn determinism_rules(scan: &FileScan<'_>, allow: &Allowlist, report: &mut LintReport) {
+/// The determinism family: bans wall-clock, real sleep, randomized
+/// iteration and OS entropy in pure-sim code.
+pub fn determinism_rules(scan: &FileScan, allow: &Allowlist, report: &mut LintReport) {
     const PATTERNS: &[(&str, &'static str, &str)] = &[
         ("Instant::now", "determinism/instant", "wall-clock read in pure-sim code; use SimTime"),
         ("SystemTime", "determinism/systemtime", "wall-clock read in pure-sim code; use SimTime"),
@@ -407,8 +351,8 @@ fn determinism_rules(scan: &FileScan<'_>, allow: &Allowlist, report: &mut LintRe
         ("getrandom", "determinism/os-rng", "OS entropy breaks seed determinism"),
         ("from_entropy", "determinism/os-rng", "OS entropy breaks seed determinism"),
     ];
-    for (i, s) in scan.stripped.iter().enumerate() {
-        if scan.in_test[i] {
+    for (i, s) in scan.lexed.code.iter().enumerate() {
+        if scan.in_test_line(i) {
             continue;
         }
         for (pat, rule, why) in PATTERNS {
@@ -419,9 +363,10 @@ fn determinism_rules(scan: &FileScan<'_>, allow: &Allowlist, report: &mut LintRe
     }
 }
 
-fn panic_rules(scan: &FileScan<'_>, allow: &Allowlist, report: &mut LintReport) {
-    for (i, s) in scan.stripped.iter().enumerate() {
-        if scan.in_test[i] {
+/// The panic-hygiene family: no `.unwrap()` / `.expect(` in library code.
+pub fn panic_rules(scan: &FileScan, allow: &Allowlist, report: &mut LintReport) {
+    for (i, s) in scan.lexed.code.iter().enumerate() {
+        if scan.in_test_line(i) {
             continue;
         }
         if s.contains(".unwrap()") {
@@ -453,24 +398,28 @@ const DOC_ITEM_STARTS: &[&str] = &[
     "pub type ", "pub unsafe fn ", "pub async fn ",
 ];
 
-fn doc_rules(scan: &FileScan<'_>, allow: &Allowlist, report: &mut LintReport) {
-    for (i, s) in scan.stripped.iter().enumerate() {
-        if scan.in_test[i] {
+/// The documentation family: every public item carries a doc comment.
+pub fn doc_rules(scan: &FileScan, allow: &Allowlist, report: &mut LintReport) {
+    for (i, s) in scan.lexed.code.iter().enumerate() {
+        if scan.in_test_line(i) {
             continue;
         }
         let trimmed = s.trim_start();
         if !DOC_ITEM_STARTS.iter().any(|p| trimmed.starts_with(p)) {
             continue;
         }
-        // Walk upwards over attributes and empty lines; a doc comment or
-        // `#[doc...]` attribute must appear directly above.
+        // Walk upwards over attributes; a doc comment (tracked by the
+        // lexer) or a `#[doc...]` attribute must appear directly above.
         let mut documented = false;
         let mut j = i;
         while j > 0 {
             j -= 1;
-            let above = scan.raw_lines[j].trim_start();
-            if above.starts_with("///") || above.starts_with("#[doc") || above.starts_with("#![doc")
-            {
+            if scan.lexed.doc.get(j).copied().unwrap_or(false) {
+                documented = true;
+                break;
+            }
+            let above = scan.lexed.code.get(j).map_or("", String::as_str).trim_start();
+            if above.starts_with("#[doc") || above.starts_with("#![doc") {
                 documented = true;
                 break;
             }
@@ -495,6 +444,281 @@ fn doc_rules(scan: &FileScan<'_>, allow: &Allowlist, report: &mut LintReport) {
             );
         }
     }
+}
+
+/// Returns the `_ns`/`_us`/`_ms` unit suffix of an identifier, if any
+/// (case-insensitive, so `TIMEOUT_MS` counts).
+fn unit_suffix(name: &str) -> Option<&'static str> {
+    let lower = name.to_ascii_lowercase();
+    for s in ["_ns", "_us", "_ms"] {
+        if lower.ends_with(s) {
+            return Some(s);
+        }
+    }
+    None
+}
+
+/// The tail identifier of the `ident(.ident | ::ident)*` chain starting
+/// at `start` (used so `obs.now_ns` reads as `now_ns`).
+fn chain_tail(toks: &[Token], start: usize) -> Option<&Token> {
+    let mut tail: Option<&Token> = None;
+    let mut j = start;
+    loop {
+        match toks.get(j) {
+            Some(t) if t.kind == TokKind::Ident => {
+                tail = Some(t);
+                j += 1;
+            }
+            _ => return tail,
+        }
+        match toks.get(j) {
+            Some(t) if t.is_punct('.') => j += 1,
+            Some(t)
+                if t.is_punct(':') && toks.get(j + 1).is_some_and(|n| n.is_punct(':')) =>
+            {
+                j += 2;
+            }
+            _ => return tail,
+        }
+    }
+}
+
+/// The time-unit suffix audit: conflicting `_ns`/`_us`/`_ms` suffixes on
+/// the two sides of an arithmetic/comparison operator, and bare integer
+/// literals assigned to unit-suffixed names (outside `simtime`, which
+/// defines the unit types themselves).
+pub fn units_rules(scan: &FileScan, allow: &Allowlist, report: &mut LintReport) {
+    let toks = &scan.lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if scan.in_test_line(t.line.saturating_sub(1)) {
+            continue;
+        }
+
+        // --- conflicting suffixes across an operator ------------------
+        if i > 0 && toks[i - 1].kind == TokKind::Ident {
+            let rhs_at = match operator_rhs(toks, i) {
+                Some(r) => r,
+                None => {
+                    units_assignment(scan, toks, i, allow, report);
+                    continue;
+                }
+            };
+            let lhs = &toks[i - 1];
+            if let (Some(ls), Some(rtail)) = (unit_suffix(&lhs.text), chain_tail(toks, rhs_at)) {
+                if let Some(rs) = unit_suffix(&rtail.text) {
+                    if ls != rs {
+                        push_violation(
+                            report,
+                            allow,
+                            scan,
+                            t.line - 1,
+                            "units/mixed-suffix",
+                            format!(
+                                "`{}` ({}) and `{}` ({}) mixed across `{}`; convert explicitly",
+                                lhs.text,
+                                &ls[1..],
+                                rtail.text,
+                                &rs[1..],
+                                t.text
+                            ),
+                        );
+                    }
+                }
+            }
+        } else {
+            units_assignment(scan, toks, i, allow, report);
+        }
+    }
+}
+
+/// If token `i` is an arithmetic/comparison operator with an identifier
+/// directly before it, returns the index where its right-hand side
+/// starts.
+fn operator_rhs(toks: &[Token], i: usize) -> Option<usize> {
+    let t = &toks[i];
+    if t.kind != TokKind::Punct {
+        return None;
+    }
+    let next = |k: usize| toks.get(i + k);
+    match t.text.as_str() {
+        "-" if next(1).is_some_and(|n| n.is_punct('>')) => None, // `->`
+        "+" | "-" => {
+            if next(1).is_some_and(|n| n.is_punct('=')) {
+                Some(i + 2) // `+=` / `-=`
+            } else {
+                Some(i + 1)
+            }
+        }
+        "<" | ">" => {
+            if next(1).is_some_and(|n| n.is_punct('=')) {
+                Some(i + 2) // `<=` / `>=`
+            } else {
+                Some(i + 1)
+            }
+        }
+        "=" if next(1).is_some_and(|n| n.is_punct('=')) => Some(i + 2), // `==`
+        "!" if next(1).is_some_and(|n| n.is_punct('=')) => Some(i + 2), // `!=`
+        _ => None,
+    }
+}
+
+/// The `units/bare-literal` half of the audit, checked at token `i` when
+/// it is an identifier: `let [mut] x_ms = 5;` / `x_ms = 5;`. Literal `0`
+/// is exempt (unit-polymorphic), as is the whole `simtime` crate.
+fn units_assignment(
+    scan: &FileScan,
+    toks: &[Token],
+    i: usize,
+    allow: &Allowlist,
+    report: &mut LintReport,
+) {
+    if crate_of(&scan.rel_path) == "simtime" {
+        return;
+    }
+    let t = &toks[i];
+    if t.kind != TokKind::Ident || unit_suffix(&t.text).is_none() {
+        return;
+    }
+    // `IDENT = INT ;` with a plain `=` (not ==, <=, +=, ...).
+    let Some(eq) = toks.get(i + 1) else { return };
+    if !eq.is_punct('=')
+        || toks.get(i + 2).is_some_and(|n| n.is_punct('='))
+        || (i > 0
+            && toks[i - 1].kind == TokKind::Punct
+            && matches!(toks[i - 1].text.as_str(), "=" | "!" | "<" | ">" | "+" | "-" | "*" | "/"))
+    {
+        return;
+    }
+    // Struct-literal fields (`Event { ts_ns: 0 }`) use `:` and are not
+    // matched here by construction.
+    let Some(val) = toks.get(i + 2) else { return };
+    let terminated = toks.get(i + 3).is_some_and(|n| n.is_punct(';') || n.is_punct(','));
+    if val.kind == TokKind::Int && terminated {
+        let digits: String = val.text.chars().filter(|c| c.is_ascii_digit()).collect();
+        if digits.chars().all(|c| c == '0') {
+            return; // zero is unit-free
+        }
+        push_violation(
+            report,
+            allow,
+            scan,
+            t.line - 1,
+            "units/bare-literal",
+            format!(
+                "bare integer `{}` assigned to unit-suffixed `{}`; use a unit constructor or a named constant",
+                val.text, t.text
+            ),
+        );
+    }
+}
+
+/// The feature-gate consistency rule: every `feature = "name"` mentioned
+/// in the file must be declared in the owning crate's `Cargo.toml`
+/// (`declared`).
+pub fn feature_rules(
+    scan: &FileScan,
+    declared: &BTreeSet<String>,
+    allow: &Allowlist,
+    report: &mut LintReport,
+) {
+    let toks = &scan.lexed.tokens;
+    for i in 0..toks.len() {
+        if toks[i].is_ident("feature")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('='))
+            && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Str)
+        {
+            let name = &toks[i + 2].text;
+            if !declared.contains(name.as_str()) {
+                push_violation(
+                    report,
+                    allow,
+                    scan,
+                    toks[i].line - 1,
+                    "feature/undeclared",
+                    format!(
+                        "feature `{name}` is not declared in this crate's Cargo.toml [features]"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn squeeze(s: &str) -> String {
+    s.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+/// The `capture` fallback rule for `odr-obs`: an item gated
+/// `#[cfg(feature = "capture")]` must have a sibling of the same name
+/// gated `#[cfg(not(feature = "capture"))]`, so a capture-less build
+/// keeps the same (no-op) API instead of losing items.
+pub fn obs_fallback_rules(scan: &FileScan, allow: &Allowlist, report: &mut LintReport) {
+    fn walk(scan: &FileScan, siblings: &[Item], allow: &Allowlist, report: &mut LintReport) {
+        let has_fallback = |name: &str| {
+            siblings.iter().any(|s| {
+                s.name == name
+                    && s.attrs
+                        .iter()
+                        .any(|a| squeeze(a).starts_with("cfg(not(feature=\"capture\""))
+            })
+        };
+        for item in siblings {
+            if item.cfg_test {
+                continue;
+            }
+            let gated = item
+                .attrs
+                .iter()
+                .any(|a| squeeze(a).starts_with("cfg(feature=\"capture\""));
+            if gated && !has_fallback(&item.name) {
+                push_violation(
+                    report,
+                    allow,
+                    scan,
+                    item.line - 1,
+                    "feature/no-fallback",
+                    format!(
+                        "`{}` exists only with the `capture` feature; add a `#[cfg(not(feature = \"capture\"))]` no-op twin",
+                        item.name
+                    ),
+                );
+            }
+            walk(scan, &item.children, allow, report);
+        }
+    }
+    walk(scan, &scan.items, allow, report);
+}
+
+/// Parses the feature names declared in a `Cargo.toml` (`[features]`
+/// section keys plus implicit features from optional dependencies).
+#[must_use]
+pub fn declared_features(manifest_text: &str) -> BTreeSet<String> {
+    let mut features = BTreeSet::new();
+    let mut section = String::new();
+    for line in manifest_text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            section = line.to_string();
+            continue;
+        }
+        if section == "[features]" {
+            if let Some(eq) = line.find('=') {
+                let name = line[..eq].trim().trim_matches('"');
+                if !name.is_empty() && !name.starts_with('#') {
+                    features.insert(name.to_string());
+                }
+            }
+        }
+        // `foo = { ..., optional = true }` dependencies are implicit
+        // features.
+        if section.starts_with("[dependencies") && line.contains("optional") {
+            if let Some(eq) = line.find('=') {
+                features.insert(line[..eq].trim().trim_matches('"').to_string());
+            }
+        }
+    }
+    features
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -537,6 +761,19 @@ pub fn lintable_files(root: &Path) -> Vec<PathBuf> {
     files
 }
 
+/// The `Cargo.toml` directory owning a lintable file: `crates/x/...` and
+/// `shims/x/...` map to their crate dir, everything else to the root
+/// package.
+fn manifest_dir_of(rel_path: &str) -> String {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    match parts.first() {
+        Some(&"crates") | Some(&"shims") if parts.len() > 2 => {
+            format!("{}/{}", parts[0], parts[1])
+        }
+        _ => String::new(),
+    }
+}
+
 /// Runs every lint rule over the tree rooted at `root`.
 #[must_use]
 pub fn run_lints(root: &Path, allow: &Allowlist) -> LintReport {
@@ -544,6 +781,10 @@ pub fn run_lints(root: &Path, allow: &Allowlist) -> LintReport {
     for problem in &allow.problems {
         report.warnings.push(problem.clone());
     }
+    let mut features_cache: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut orders = locks::OrderGraph::default();
+    let mut lock_scans: Vec<FileScan> = Vec::new();
+
     for path in lintable_files(root) {
         let Ok(text) = fs::read_to_string(&path) else {
             report
@@ -557,7 +798,7 @@ pub fn run_lints(root: &Path, allow: &Allowlist) -> LintReport {
             .to_string_lossy()
             .replace('\\', "/");
         report.files += 1;
-        let scan = FileScan::new(rel.clone(), &text);
+        let scan = scan_file(&rel, &text);
         let krate = crate_of(&rel);
         let is_shim = rel.starts_with("shims/");
 
@@ -573,7 +814,37 @@ pub fn run_lints(root: &Path, allow: &Allowlist) -> LintReport {
         if krate == "core" || krate == "obs" {
             doc_rules(&scan, allow, &mut report);
         }
+        units_rules(&scan, allow, &mut report);
+
+        let manifest_dir = manifest_dir_of(&rel);
+        let declared = features_cache.entry(manifest_dir.clone()).or_insert_with(|| {
+            let manifest = root.join(&manifest_dir).join("Cargo.toml");
+            fs::read_to_string(manifest)
+                .map(|t| declared_features(&t))
+                .unwrap_or_default()
+        });
+        feature_rules(&scan, declared, allow, &mut report);
+        if krate == "obs" {
+            obs_fallback_rules(&scan, allow, &mut report);
+        }
+
+        if locks::in_scope(&rel) {
+            let findings = locks::analyze_file(&rel, &scan.lexed, &scan.in_test, &mut orders);
+            for (line_idx, rule, message) in findings {
+                push_violation(&mut report, allow, &scan, line_idx, rule, message);
+            }
+            lock_scans.push(scan);
+        }
     }
+
+    // Lock-order inversions are a cross-file property; resolve them once
+    // every in-scope file has fed the order graph.
+    for (path, (line_idx, rule, message)) in orders.inversions() {
+        if let Some(scan) = lock_scans.iter().find(|s| s.rel_path == path) {
+            push_violation(&mut report, allow, scan, line_idx, rule, message);
+        }
+    }
+
     for entry in allow.unused() {
         report.warnings.push(format!(
             "unused allowlist entry: {} | {} | {} ({})",
@@ -587,13 +858,9 @@ pub fn run_lints(root: &Path, allow: &Allowlist) -> LintReport {
 mod tests {
     use super::*;
 
-    fn scan<'a>(path: &'a str, src: &'a str) -> FileScan<'a> {
-        FileScan::new(path.to_string(), src)
-    }
-
     fn lint_src(path: &str, src: &str, allow: &Allowlist) -> LintReport {
         let mut report = LintReport::default();
-        let s = scan(path, src);
+        let s = scan_file(path, src);
         let krate = crate_of(path);
         if PURE_SIM_CRATES.contains(&krate) && !REALTIME_MODULES.contains(&path) {
             determinism_rules(&s, allow, &mut report);
@@ -602,6 +869,7 @@ mod tests {
         if krate == "core" || krate == "obs" {
             doc_rules(&s, allow, &mut report);
         }
+        units_rules(&s, allow, &mut report);
         report
     }
 
@@ -683,6 +951,15 @@ mod tests {
     }
 
     #[test]
+    fn unwrap_inside_multiline_raw_string_ignored() {
+        // The regression class the line scanner could not handle: a raw
+        // string spanning lines, with banned tokens on its inner lines.
+        let src = "fn f() -> &'static str {\n    r#\"\n    x.unwrap();\n    Instant::now();\n    \"#\n}\n";
+        let r = lint_src("crates/codec/src/lib.rs", src, &Allowlist::default());
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
     fn unwrap_or_else_not_flagged() {
         let src = "fn f() { x.unwrap_or_else(y); x.unwrap_or(3); x.unwrap_or_default(); }\n";
         let r = lint_src("crates/codec/src/lib.rs", src, &Allowlist::default());
@@ -749,17 +1026,118 @@ mod tests {
     }
 
     #[test]
-    fn raw_strings_and_char_literals_stripped() {
-        let mut st = Stripper::new();
-        let s = st.strip_line(r##"let a = r#"x.unwrap()"#; let c = '"'; let l: &'static str;"##);
-        assert!(!s.contains("unwrap"));
-        assert!(s.contains("static"));
+    fn allowlist_accepts_the_new_rule_families() {
+        let allow = Allowlist::parse(
+            "lock/blocking-call | a | b | why\nunits/mixed-suffix | a | b | why\n",
+            "test",
+        );
+        assert_eq!(allow.entries.len(), 2);
+        assert!(allow.problems.is_empty());
     }
 
     #[test]
-    fn block_comments_span_lines() {
-        let src = "/*\n x.unwrap()\n*/\nfn ok() {}\n";
-        let r = lint_src("crates/codec/src/lib.rs", src, &Allowlist::default());
-        assert!(r.violations.is_empty());
+    fn mixed_unit_suffix_arithmetic_flagged() {
+        let src = "fn f() { let d = end_ns - start_ms; }\n";
+        let r = lint_src("crates/pipeline/src/sim.rs", src, &Allowlist::default());
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].rule, "units/mixed-suffix");
+    }
+
+    #[test]
+    fn mixed_unit_suffix_through_method_chain_flagged() {
+        let src = "fn f() { let late = deadline_us < clock.now_ns(); }\n";
+        let r = lint_src("crates/pipeline/src/sim.rs", src, &Allowlist::default());
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+    }
+
+    #[test]
+    fn same_unit_suffix_arithmetic_is_clean() {
+        let src = "fn f() { let d = end_ns - start_ns; let x = a_ms + b_ms; }\n";
+        let r = lint_src("crates/pipeline/src/sim.rs", src, &Allowlist::default());
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn unsuffixed_operands_are_ignored() {
+        let src = "fn f() { let d = row_hit_ns + base_miss_rate * row_miss_extra_ns; }\n";
+        let r = lint_src("crates/memsim/src/lib.rs", src, &Allowlist::default());
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn bare_literal_into_unit_suffixed_name_flagged() {
+        let src = "fn f() { let timeout_ms = 500; }\n";
+        let r = lint_src("crates/pipeline/src/sim.rs", src, &Allowlist::default());
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].rule, "units/bare-literal");
+    }
+
+    #[test]
+    fn bare_literal_zero_and_simtime_are_exempt() {
+        let src = "fn f() { let mut acc_ns = 0; acc_ns += step(); }\n";
+        let r = lint_src("crates/pipeline/src/sim.rs", src, &Allowlist::default());
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        let src = "fn f() { let t_ns = 500; }\n";
+        let r = lint_src("crates/simtime/src/lib.rs", src, &Allowlist::default());
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn feature_rules_flag_undeclared_names() {
+        let mut report = LintReport::default();
+        let scan = scan_file(
+            "crates/obs/src/recorder.rs",
+            "#[cfg(feature = \"capture\")]\nfn a() {}\n#[cfg(feature = \"telemetry\")]\nfn b() {}\n",
+        );
+        let declared: BTreeSet<String> = ["capture".to_string()].into();
+        feature_rules(&scan, &declared, &Allowlist::default(), &mut report);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(report.violations[0].rule, "feature/undeclared");
+        assert!(report.violations[0].message.contains("telemetry"));
+    }
+
+    #[test]
+    fn cfg_macro_form_is_also_checked() {
+        let mut report = LintReport::default();
+        let scan = scan_file(
+            "crates/obs/src/recorder.rs",
+            "fn a() { if cfg!(feature = \"nope\") {} }\n",
+        );
+        feature_rules(&scan, &BTreeSet::new(), &Allowlist::default(), &mut report);
+        assert_eq!(report.violations.len(), 1);
+    }
+
+    #[test]
+    fn capture_gated_item_without_fallback_flagged() {
+        let mut report = LintReport::default();
+        let scan = scan_file(
+            "crates/obs/src/recorder.rs",
+            "#[cfg(feature = \"capture\")]\npub fn drain() {}\n",
+        );
+        obs_fallback_rules(&scan, &Allowlist::default(), &mut report);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(report.violations[0].rule, "feature/no-fallback");
+    }
+
+    #[test]
+    fn capture_gated_item_with_noop_twin_is_clean() {
+        let mut report = LintReport::default();
+        let scan = scan_file(
+            "crates/obs/src/recorder.rs",
+            "#[cfg(feature = \"capture\")]\npub fn drain() { real() }\n\
+             #[cfg(not(feature = \"capture\"))]\npub fn drain() {}\n",
+        );
+        obs_fallback_rules(&scan, &Allowlist::default(), &mut report);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn declared_features_parses_sections_and_optionals() {
+        let manifest = "[package]\nname = \"x\"\n\n[features]\ndefault = [\"obs\"]\nobs = []\n\n[dependencies]\nfoo = { version = \"1\", optional = true }\n";
+        let f = declared_features(manifest);
+        assert!(f.contains("default"));
+        assert!(f.contains("obs"));
+        assert!(f.contains("foo"));
+        assert!(!f.contains("name"));
     }
 }

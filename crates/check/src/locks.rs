@@ -1,0 +1,586 @@
+//! Lock-discipline analysis over the blocking (real-thread) modules.
+//!
+//! The paper's swap protocol is a blocking mutex/condvar design, so the
+//! two bug classes that silently break it are (a) a *blocking call made
+//! while a lock guard is live* — a condvar wait on a different lock, a
+//! channel send/recv, a real sleep, a thread join — and (b) *inconsistent
+//! pairwise lock acquisition order* across code paths, the classic
+//! deadlock seed. The PR-1 model checker explores interleavings of the
+//! swap protocol itself but cannot see a blocking call introduced under a
+//! lock elsewhere; this pass closes that gap statically.
+//!
+//! The analysis walks the token stream (from [`crate::lex`]) of each
+//! in-scope file, tracking **guard scopes**:
+//!
+//! * `let g = <recv>.lock()` (also `.read()` / `.write()` with empty
+//!   argument lists, and the repo's `lock(&m)` / `relock(m.lock())`
+//!   poison-recovery wrappers) starts a guard named `g` on lock `<recv>`,
+//!   live until the enclosing block closes or `drop(g)`;
+//! * an un-bound acquisition (`lock(&m).record(x)`) is a temporary guard,
+//!   live to the end of its statement;
+//! * `cv.wait(g)` / `wait_while` / `wait_timeout` *consume and reacquire*
+//!   `g` — legal for `g` itself, flagged when any **other** guard is live
+//!   (that lock stays held for the whole sleep);
+//! * acquiring lock B while guard A is live records the ordered pair
+//!   (A, B); after the whole scope is scanned, seeing both (A, B) and
+//!   (B, A) reports an inversion at both sites.
+//!
+//! Heuristics are deliberately name-based (no type information), tuned so
+//! the current tree is clean without suppressions; `#[cfg(test)]` regions
+//! are skipped.
+
+use std::collections::BTreeMap;
+
+use crate::lex::{LexedFile, TokKind, Token};
+
+/// Source files subject to the lock-discipline pass: path prefixes
+/// relative to the repo root. These are exactly the modules that hold
+/// `std::sync` guards on the real-thread path; pure-sim crates have no
+/// locks at all.
+pub const LOCK_SCOPE: &[&str] = &[
+    "crates/runtime/src/",
+    "crates/core/src/sync_queue.rs",
+    "crates/obs/src/recorder.rs",
+];
+
+/// `true` when `rel_path` is covered by the pass.
+#[must_use]
+pub fn in_scope(rel_path: &str) -> bool {
+    LOCK_SCOPE.iter().any(|p| rel_path.starts_with(p))
+}
+
+/// One pass finding: 0-based line index, rule id, message. The caller
+/// (the lint driver) routes these through the shared allowlist.
+pub type Finding = (usize, &'static str, String);
+
+/// Cross-file accumulator for pairwise lock acquisition order. Keys are
+/// normalized receiver paths (`self.state`); one representative site is
+/// kept per ordered pair.
+#[derive(Debug, Default)]
+pub struct OrderGraph {
+    /// (first-lock, second-lock) → first site that acquired them nested
+    /// in that order.
+    pairs: BTreeMap<(String, String), (String, usize)>,
+}
+
+impl OrderGraph {
+    fn record(&mut self, outer: &str, inner: &str, path: &str, line: usize) {
+        if outer == inner {
+            return;
+        }
+        self.pairs
+            .entry((outer.to_string(), inner.to_string()))
+            .or_insert_with(|| (path.to_string(), line));
+    }
+
+    /// Reports every pair of locks acquired in both orders: one finding
+    /// per site, attributed to its file. 0-based line indices.
+    #[must_use]
+    pub fn inversions(&self) -> Vec<(String, Finding)> {
+        let mut out = Vec::new();
+        for ((a, b), (path, line)) in &self.pairs {
+            if a < b {
+                if let Some((rpath, rline)) = self.pairs.get(&(b.clone(), a.clone())) {
+                    let msg_fwd = format!(
+                        "lock order inversion: `{a}` then `{b}` here, but `{b}` then `{a}` at {rpath}:{}",
+                        rline + 1
+                    );
+                    let msg_rev = format!(
+                        "lock order inversion: `{b}` then `{a}` here, but `{a}` then `{b}` at {path}:{}",
+                        line + 1
+                    );
+                    out.push((path.clone(), (*line, "lock/order", msg_fwd)));
+                    out.push((rpath.clone(), (*rline, "lock/order", msg_rev)));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug)]
+struct Guard {
+    /// Binding name; empty for statement temporaries.
+    name: String,
+    /// Normalized receiver path of the lock (`self.state`, `mtp`).
+    lock: String,
+    /// Brace depth at creation; the guard dies when the depth drops
+    /// below this.
+    depth: usize,
+    /// Statement temporary: dies at the next `;`.
+    temp: bool,
+}
+
+/// Walks one file's tokens and returns blocking-under-lock findings,
+/// feeding nested acquisitions into `orders`. `in_test` marks 1-based
+/// lines inside `#[cfg(test)]` regions (index 0 = line 1), which are
+/// skipped.
+#[must_use]
+pub fn analyze_file(
+    rel_path: &str,
+    file: &LexedFile,
+    in_test: &[bool],
+    orders: &mut OrderGraph,
+) -> Vec<Finding> {
+    let toks = &file.tokens;
+    let mut findings = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    // The active `let` binding name, if the statement began with one.
+    let mut pending_let: Option<String> = None;
+
+    let is_test = |line: usize| in_test.get(line - 1).copied().unwrap_or(false);
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            guards.retain(|g| g.depth <= depth);
+            pending_let = None;
+            i += 1;
+            continue;
+        }
+        if t.is_punct(';') {
+            guards.retain(|g| !g.temp);
+            pending_let = None;
+            i += 1;
+            continue;
+        }
+        if is_test(t.line) {
+            i += 1;
+            continue;
+        }
+
+        // `let [mut] NAME =` / `let [mut] NAME:` — remember the binding.
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if let (Some(name), Some(next)) = (toks.get(j), toks.get(j + 1)) {
+                if name.kind == TokKind::Ident && (next.is_punct('=') || next.is_punct(':')) {
+                    pending_let = Some(name.text.clone());
+                }
+            }
+            i += 1;
+            continue;
+        }
+
+        // `drop(NAME)` ends that guard early.
+        if t.is_ident("drop")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && !prev_is_punct(toks, i, '.')
+        {
+            if let Some(arg) = toks.get(i + 2) {
+                if arg.kind == TokKind::Ident {
+                    guards.retain(|g| g.name != arg.text);
+                }
+            }
+            i += 1;
+            continue;
+        }
+
+        // Method-form acquisition: `<recv>.lock()` (or `.read()` /
+        // `.write()` with empty argument lists — RwLock's signatures;
+        // io::Write::write takes arguments, so it never matches).
+        if t.kind == TokKind::Ident
+            && prev_is_punct(toks, i, '.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+            && matches!(t.text.as_str(), "lock" | "read" | "write")
+        {
+            let lock = receiver_chain(toks, i - 1);
+            if !lock.is_empty() {
+                acquire(
+                    &mut guards,
+                    orders,
+                    rel_path,
+                    t.line,
+                    depth,
+                    &pending_let,
+                    lock,
+                );
+            }
+            i += 3;
+            continue;
+        }
+
+        // Wrapper-form acquisition: `lock(&m)` / `relock(expr)` called as
+        // a free function. When the wrapped expression itself contains a
+        // method-form `.lock()`, the method form above already handled it.
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "lock" | "relock")
+            && !prev_is_punct(toks, i, '.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            let (inner_lock, has_method_form) = wrapper_argument(toks, i + 1);
+            if !has_method_form {
+                if let Some(lock) = inner_lock {
+                    acquire(
+                        &mut guards,
+                        orders,
+                        rel_path,
+                        t.line,
+                        depth,
+                        &pending_let,
+                        lock,
+                    );
+                }
+            }
+            i += 1;
+            continue;
+        }
+
+        // Condvar waits: `cv.wait(g)` / `wait_while(g, ..)` /
+        // `wait_timeout(g, ..)`. Waiting *on a live guard* is the
+        // protocol; doing so while ANY OTHER guard is live blocks with
+        // that other lock held.
+        if t.kind == TokKind::Ident
+            && prev_is_punct(toks, i, '.')
+            && matches!(t.text.as_str(), "wait" | "wait_while" | "wait_timeout")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            let arg = first_ident_in_args(toks, i + 1);
+            let waits_on_guard = arg
+                .as_ref()
+                .is_some_and(|a| guards.iter().any(|g| g.name == *a));
+            let others: Vec<&Guard> = guards
+                .iter()
+                .filter(|g| arg.as_ref() != Some(&g.name))
+                .collect();
+            if let Some(other) = others.first() {
+                let held = describe(other);
+                let msg = if waits_on_guard {
+                    format!(
+                        "`{}(..)` releases only its own guard; {held} stays held for the whole wait",
+                        t.text
+                    )
+                } else {
+                    format!("condvar `{}(..)` while {held} is held", t.text)
+                };
+                findings.push((t.line - 1, "lock/blocking-call", msg));
+            }
+            i += 1;
+            continue;
+        }
+
+        // Blocking calls that must never run under a guard.
+        if let Some(desc) = blocking_call(toks, i) {
+            if let Some(g) = guards.first() {
+                findings.push((
+                    t.line - 1,
+                    "lock/blocking-call",
+                    format!("{desc} while {} is held", describe(g)),
+                ));
+            }
+        }
+
+        i += 1;
+    }
+    findings
+}
+
+fn describe(g: &Guard) -> String {
+    if g.name.is_empty() {
+        format!("the `{}` guard", g.lock)
+    } else {
+        format!("guard `{}` (lock `{}`)", g.name, g.lock)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn acquire(
+    guards: &mut Vec<Guard>,
+    orders: &mut OrderGraph,
+    rel_path: &str,
+    line: usize,
+    depth: usize,
+    pending_let: &Option<String>,
+    lock: String,
+) {
+    for g in guards.iter() {
+        orders.record(&g.lock, &lock, rel_path, line - 1);
+    }
+    // Re-binding an existing guard name (`g = relock(cv.wait(g))`)
+    // replaces it rather than stacking a second acquisition.
+    if let Some(name) = pending_let {
+        guards.retain(|g| g.name != *name);
+    }
+    guards.push(Guard {
+        name: pending_let.clone().unwrap_or_default(),
+        lock,
+        depth,
+        temp: pending_let.is_none(),
+    });
+}
+
+fn prev_is_punct(toks: &[Token], i: usize, c: char) -> bool {
+    i > 0 && toks[i - 1].is_punct(c)
+}
+
+/// Walks backwards from the `.` of a method call, collecting the
+/// `ident(.ident | ::ident)*` receiver chain as text. Returns `""` when
+/// the receiver is not a plain path (e.g. a call result: `m().lock()`).
+fn receiver_chain(toks: &[Token], dot: usize) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    let mut j = dot; // index of the `.`
+    loop {
+        if j == 0 {
+            break;
+        }
+        let prev = &toks[j - 1];
+        if prev.kind == TokKind::Ident {
+            parts.push(&prev.text);
+            j -= 1;
+            // Continue through `.` or `::`.
+            if j >= 1 && toks[j - 1].is_punct('.') {
+                j -= 1;
+                continue;
+            }
+            if j >= 2 && toks[j - 1].is_punct(':') && toks[j - 2].is_punct(':') {
+                parts.push("::");
+                j -= 2;
+                continue;
+            }
+            break;
+        }
+        // `)` directly before the dot: receiver is a call result.
+        return String::new();
+    }
+    parts.reverse();
+    let mut out = String::new();
+    for (k, p) in parts.iter().enumerate() {
+        if *p == "::" {
+            out.push_str("::");
+        } else {
+            if k > 0 && !out.ends_with("::") {
+                out.push('.');
+            }
+            out.push_str(p);
+        }
+    }
+    out
+}
+
+/// Scans a wrapper call's parenthesised argument (cursor on `(`):
+/// returns the first ident chain inside (skipping `&` / `mut`) and
+/// whether the argument contains any method call — in which case the
+/// wrapper is not treated as an acquisition itself.
+fn wrapper_argument(toks: &[Token], open: usize) -> (Option<String>, bool) {
+    let mut depth = 0usize;
+    let mut j = open;
+    let mut chain: Vec<String> = Vec::new();
+    let mut chain_done = false;
+    let mut has_method_form = false;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') {
+            depth += 1;
+            if depth == 1 {
+                j += 1;
+                continue;
+            }
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if t.kind == TokKind::Ident
+            && prev_is_punct(toks, j, '.')
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('('))
+        {
+            // Any method call inside the argument: the expression is not
+            // a plain `&lock` path. Either it is `m.lock()` (the
+            // method-form branch already created the guard) or it is
+            // something like `cv.wait(g)` (not an acquisition at all).
+            has_method_form = true;
+        }
+        if !chain_done {
+            match t.kind {
+                TokKind::Ident if t.text != "mut" => chain.push(t.text.clone()),
+                TokKind::Punct if t.is_punct('&') || t.is_punct(':') => {}
+                TokKind::Punct if t.is_punct('.') => {}
+                _ => chain_done = !chain.is_empty(),
+            }
+        }
+        j += 1;
+    }
+    let lock = if chain.is_empty() {
+        None
+    } else {
+        Some(chain.join("."))
+    };
+    (lock, has_method_form)
+}
+
+/// The first plain identifier inside a call's argument list (cursor on
+/// `(`), skipping `&` and `mut`.
+fn first_ident_in_args(toks: &[Token], open: usize) -> Option<String> {
+    let mut j = open + 1;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct(')') {
+            return None;
+        }
+        if t.kind == TokKind::Ident && t.text != "mut" {
+            return Some(t.text.clone());
+        }
+        if !t.is_punct('&') {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Recognises a blocking call at token `i`, returning its description.
+fn blocking_call(toks: &[Token], i: usize) -> Option<String> {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let called = toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+    if !called {
+        return None;
+    }
+    // `thread::sleep(..)` — any path ending in `::sleep`.
+    if t.text == "sleep" && i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':') {
+        return Some("`thread::sleep(..)`".to_string());
+    }
+    let method = prev_is_punct(toks, i, '.');
+    if !method {
+        return None;
+    }
+    match t.text.as_str() {
+        // Thread join takes no arguments; PathBuf::join takes one, so
+        // requiring `()` keeps path joins out.
+        "join" if toks.get(i + 2).is_some_and(|t| t.is_punct(')')) => {
+            Some("`.join()`".to_string())
+        }
+        "send" => Some("channel `.send(..)`".to_string()),
+        "recv" | "recv_timeout" => Some(format!("channel `.{}(..)`", t.text)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn run(src: &str) -> (Vec<Finding>, OrderGraph) {
+        let file = lex(src);
+        let in_test = vec![false; file.lines()];
+        let mut orders = OrderGraph::default();
+        let f = analyze_file("crates/runtime/src/x.rs", &file, &in_test, &mut orders);
+        (f, orders)
+    }
+
+    #[test]
+    fn sleep_under_guard_is_flagged() {
+        let (f, _) = run("fn f() { let g = m.lock(); thread::sleep(d); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].1, "lock/blocking-call");
+        assert!(f[0].2.contains("sleep"), "{}", f[0].2);
+    }
+
+    #[test]
+    fn sleep_after_guard_scope_closes_is_clean() {
+        let (f, _) = run("fn f() { { let g = m.lock(); g.touch(); } thread::sleep(d); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let (f, _) = run("fn f() { let g = m.lock(); drop(g); thread::sleep(d); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn send_and_recv_under_guard_flagged() {
+        let (f, _) = run("fn f() { let g = state.lock(); tx.send(v); let x = rx.recv(); }");
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn temporary_guard_covers_only_its_statement() {
+        // The un-bound `lock(&m)` temporary dies at the `;`.
+        let (f, _) = run("fn f() { lock(&m).record(v); thread::sleep(d); }");
+        assert!(f.is_empty(), "{f:?}");
+        let (f, _) = run("fn f() { lock(&m).record(rx.recv()); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn wait_with_own_guard_is_the_protocol() {
+        let (f, _) = run(
+            "fn f() { let mut guard = relock(self.state.lock());\n\
+             loop { guard = relock(self.space.wait(guard)); } }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn wait_while_holding_a_second_lock_is_flagged() {
+        let (f, _) = run(
+            "fn f() { let a = self.meta.lock(); let g = self.state.lock();\n\
+             let g = self.cv.wait(g); }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].2.contains("meta"), "{}", f[0].2);
+    }
+
+    #[test]
+    fn join_under_guard_flagged_but_path_join_ignored() {
+        let (f, _) = run("fn f() { let g = m.lock(); handle.join(); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        let (f, _) = run("fn f() { let g = m.lock(); let p = root.join(name); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn order_inversion_detected_across_functions() {
+        let (_, orders) = run(
+            "fn ab() { let a = self.a.lock(); let b = self.b.lock(); }\n\
+             fn ba() { let b = self.b.lock(); let a = self.a.lock(); }",
+        );
+        let inv = orders.inversions();
+        assert_eq!(inv.len(), 2, "{inv:?}");
+        assert!(inv[0].1 .2.contains("inversion"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let (_, orders) = run(
+            "fn one() { let a = self.a.lock(); let b = self.b.lock(); }\n\
+             fn two() { let a = self.a.lock(); let b = self.b.lock(); }",
+        );
+        assert!(orders.inversions().is_empty());
+    }
+
+    #[test]
+    fn rwlock_read_write_create_guards() {
+        let (f, _) = run("fn f() { let r = map.read(); slow.recv(); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        // io-style `.write(buf)` has arguments: not a guard.
+        let (f, _) = run("fn f() { out.write(buf); slow.recv(); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_regions_are_skipped() {
+        let src = "fn f() { let g = m.lock(); thread::sleep(d); }";
+        let file = lex(src);
+        let in_test = vec![true; file.lines()];
+        let mut orders = OrderGraph::default();
+        let f = analyze_file("crates/runtime/src/x.rs", &file, &in_test, &mut orders);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,18 +1,32 @@
-//! `odr-check` CLI: runs the repo lint pass and the swap-protocol model
-//! checker. Exit status: 0 clean, 1 violations/failures found, 2 usage
-//! error.
+//! `odr-check` CLI: runs the repo lint passes (token-level rules + lock
+//! discipline), the API-surface snapshot check, and the swap-protocol
+//! model checker.
+//!
+//! Exit status is uniform across every subcommand and pass:
+//! `0` clean, `1` findings (lint violations, API diffs, model failures),
+//! `2` usage or I/O error. All error paths flow through
+//! [`odr_core::OdrResult`]; there are no scattered `process::exit` calls.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use odr_check::api;
 use odr_check::lint::{run_lints, Allowlist};
-use odr_core::{OdrError, OdrResult};
 use odr_check::model::{explore_dfs, explore_random, standard_suite};
+use odr_core::{OdrError, OdrResult};
 
 const USAGE: &str = "\
-odr-check: ODR repo lint pass + swap-protocol model checker
+odr-check: ODR repo lint pass + API snapshot + swap-protocol model checker
 
-USAGE: cargo run -p odr-check [--] [OPTIONS]
+USAGE: cargo run -p odr-check [--] [SUBCOMMAND] [OPTIONS]
+
+SUBCOMMANDS:
+  (none)                 run the lint passes and the model checker
+  api                    print the workspace's public API surface
+  api --check            compare the surface against api-surface.txt;
+                         exit 1 on any diff (writes api-surface.txt.new)
+                         [UPDATE_GOLDEN=1 odr-check api] rewrites the
+                         committed snapshot instead
 
 OPTIONS:
   --lint-only            run only the source lints
@@ -33,6 +47,9 @@ OPTIONS:
 ";
 
 struct Options {
+    help: bool,
+    api: bool,
+    api_check: bool,
     lint: bool,
     model: bool,
     deny_warnings: bool,
@@ -48,6 +65,9 @@ struct Options {
 impl Default for Options {
     fn default() -> Self {
         Options {
+            help: false,
+            api: false,
+            api_check: false,
             lint: true,
             model: true,
             deny_warnings: false,
@@ -65,12 +85,15 @@ impl Default for Options {
 fn parse_args() -> OdrResult<Options> {
     let mut opts = Options::default();
     let mut args = std::env::args().skip(1);
+    let mut first = true;
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
             args.next()
                 .ok_or_else(|| OdrError::arg(format!("{name} requires a value")))
         };
         match arg.as_str() {
+            "api" if first => opts.api = true,
+            "--check" if opts.api => opts.api_check = true,
             "--lint-only" => opts.model = false,
             "--model-only" => opts.lint = false,
             "--deny-warnings" => opts.deny_warnings = true,
@@ -97,12 +120,10 @@ fn parse_args() -> OdrResult<Options> {
                     .map_err(|_| OdrError::arg("--min-interleavings wants an integer"))?;
             }
             "--verbose" => opts.verbose = true,
-            "--help" | "-h" => {
-                print!("{USAGE}");
-                std::process::exit(0);
-            }
+            "--help" | "-h" => opts.help = true,
             other => return Err(OdrError::arg(format!("unknown option '{other}'"))),
         }
+        first = false;
     }
     if !opts.lint && !opts.model {
         return Err(OdrError::arg(
@@ -126,12 +147,55 @@ fn detect_root() -> Option<PathBuf> {
     }
 }
 
-fn run_lint_pass(opts: &Options) -> OdrResult<bool> {
-    let root = match &opts.root {
-        Some(r) => r.clone(),
+fn resolve_root(opts: &Options) -> OdrResult<PathBuf> {
+    match &opts.root {
+        Some(r) => Ok(r.clone()),
         None => detect_root()
-            .ok_or_else(|| OdrError::invalid_config("root", "cannot find repo root (use --root)"))?,
-    };
+            .ok_or_else(|| OdrError::invalid_config("root", "cannot find repo root (use --root)")),
+    }
+}
+
+/// The `api` subcommand. Returns `Ok(true)` when the check passes (or
+/// when merely printing/updating), `Ok(false)` on a `--check` diff.
+fn run_api_pass(opts: &Options) -> OdrResult<bool> {
+    let root = resolve_root(opts)?;
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        let text = api::update_snapshot(&root)?;
+        println!(
+            "api: wrote {} ({} items)",
+            api::SNAPSHOT_FILE,
+            text.lines().count()
+        );
+        return Ok(true);
+    }
+    if opts.api_check {
+        let diff = api::check_against_snapshot(&root)?;
+        if diff.is_empty() {
+            println!("api: surface matches {}", api::SNAPSHOT_FILE);
+            return Ok(true);
+        }
+        for line in &diff.added {
+            println!("error: api: not in snapshot: {line}");
+        }
+        for line in &diff.removed {
+            println!("error: api: missing from tree: {line}");
+        }
+        println!(
+            "api: {} added, {} removed vs {}; fresh surface written to {}.\n\
+             If the change is intentional, regenerate with: UPDATE_GOLDEN=1 odr-check api",
+            diff.added.len(),
+            diff.removed.len(),
+            api::SNAPSHOT_FILE,
+            api::SCRATCH_FILE
+        );
+        return Ok(false);
+    }
+    print!("{}", api::collect_api(&root)?);
+    Ok(true)
+}
+
+fn run_lint_pass(opts: &Options) -> OdrResult<bool> {
+    let root = resolve_root(opts)?;
     let allow_path = opts
         .allowlist
         .clone()
@@ -208,6 +272,28 @@ fn run_model_pass(opts: &Options) -> bool {
     ok
 }
 
+/// Runs the selected passes; `Ok(true)` means everything is clean.
+fn run(opts: &Options) -> OdrResult<bool> {
+    if opts.help {
+        print!("{USAGE}");
+        return Ok(true);
+    }
+    if opts.api {
+        return run_api_pass(opts);
+    }
+    let mut ok = true;
+    if opts.lint {
+        ok &= run_lint_pass(opts)?;
+    }
+    if opts.model {
+        ok &= run_model_pass(opts);
+    }
+    if ok {
+        println!("odr-check: OK");
+    }
+    Ok(ok)
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -216,23 +302,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let mut ok = true;
-    if opts.lint {
-        match run_lint_pass(&opts) {
-            Ok(clean) => ok &= clean,
-            Err(e) => {
-                eprintln!("odr-check: {e}");
-                return ExitCode::from(2);
-            }
+    match run(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("odr-check: {e}");
+            ExitCode::from(2)
         }
-    }
-    if opts.model {
-        ok &= run_model_pass(&opts);
-    }
-    if ok {
-        println!("odr-check: OK");
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
     }
 }

@@ -1,0 +1,28 @@
+//! Mini crate for the API-snapshot tests.
+
+pub struct Widget {
+    pub size: u32,
+}
+
+impl Widget {
+    pub fn draw(&self) -> u32 {
+        self.size
+    }
+
+    fn helper(&self) {}
+}
+
+pub mod geometry {
+    pub const SIDES: u8 = 4;
+}
+
+pub fn render(w: &Widget) -> u32 {
+    w.draw()
+}
+
+fn private_helper() {}
+
+#[cfg(test)]
+mod tests {
+    pub fn invisible() {}
+}

@@ -1,0 +1,45 @@
+//! Lock-discipline fixture: seeded blocking-while-holding-a-guard
+//! defects. Each `BAD:` line below must be flagged by the lock pass;
+//! everything else must stay clean.
+
+fn sleep_under_guard(m: &std::sync::Mutex<u32>) {
+    let guard = m.lock().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(5)); // BAD: sleep
+    drop(guard);
+}
+
+fn send_under_guard(m: &std::sync::Mutex<u32>, tx: &std::sync::mpsc::Sender<u32>) {
+    let g = m.lock().unwrap();
+    tx.send(*g).ok(); // BAD: channel send
+}
+
+fn recv_under_temporary(state: &std::sync::Mutex<u32>, rx: &std::sync::mpsc::Receiver<u32>) {
+    // The guard is an un-bound temporary, live until the semicolon.
+    *state.lock().unwrap() += rx.recv().unwrap(); // BAD: recv under temp guard
+}
+
+fn join_under_guard(m: &std::sync::RwLock<u32>, h: std::thread::JoinHandle<()>) {
+    let g = m.write().unwrap();
+    h.join().ok(); // BAD: join
+    drop(g);
+}
+
+fn wait_on_foreign_guard(
+    a: &std::sync::Mutex<u32>,
+    b: &std::sync::Mutex<u32>,
+    cv: &std::sync::Condvar,
+) {
+    let outer = a.lock().unwrap();
+    let inner = b.lock().unwrap();
+    // Waiting releases only `inner`; `outer` stays held across the park.
+    let _inner = cv.wait(inner).unwrap(); // BAD: wait with a second guard live
+    drop(outer);
+}
+
+fn blocking_after_guard_dropped_is_fine(m: &std::sync::Mutex<u32>) {
+    {
+        let g = m.lock().unwrap();
+        let _ = *g;
+    }
+    std::thread::sleep(std::time::Duration::from_millis(1)); // ok: guard scope closed
+}

@@ -1,0 +1,69 @@
+//! Lock-discipline fixture mirroring the real runtime/sync_queue idiom:
+//! condvar wait loops on the guard's own lock, poison-recovery wrappers,
+//! statement-temporary guards, and blocking calls made strictly outside
+//! guard scopes. The pass must report ZERO findings here.
+
+fn relock<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    match r {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+struct Queue {
+    state: std::sync::Mutex<Vec<u64>>,
+    space: std::sync::Condvar,
+    ready: std::sync::Condvar,
+}
+
+impl Queue {
+    fn push(&self, v: u64, cap: usize) {
+        let mut guard = relock(self.state.lock());
+        while guard.len() >= cap {
+            // Waiting on the guard's own lock is the protocol.
+            guard = relock(self.space.wait(guard));
+        }
+        guard.push(v);
+        self.ready.notify_one();
+    }
+
+    fn pop(&self) -> Option<u64> {
+        let mut guard = relock(self.state.lock());
+        while guard.is_empty() {
+            guard = relock(self.ready.wait(guard));
+        }
+        let v = guard.pop();
+        drop(guard);
+        self.space.notify_one();
+        v
+    }
+}
+
+fn temporaries_then_blocking(m: &std::sync::Mutex<u64>, h: std::thread::JoinHandle<()>) {
+    // Statement-temporary guard: dies at the semicolon...
+    *relock(m.lock()) += 1;
+    // ...so blocking afterwards is fine.
+    h.join().ok();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn consistent_order(a: &std::sync::Mutex<u64>, b: &std::sync::Mutex<u64>) {
+    // Same nesting order as `also_consistent`: no inversion.
+    let ga = relock(a.lock());
+    let gb = relock(b.lock());
+    drop(gb);
+    drop(ga);
+}
+
+fn also_consistent(a: &std::sync::Mutex<u64>, b: &std::sync::Mutex<u64>) {
+    let ga = relock(a.lock());
+    let gb = relock(b.lock());
+    let _ = (&ga, &gb);
+}
+
+fn path_join_is_not_thread_join(root: &std::path::Path, m: &std::sync::Mutex<u64>) {
+    let g = relock(m.lock());
+    // `.join(arg)` with an argument is PathBuf::join, not a blocking call.
+    let _p = root.join("trace.bin");
+    let _ = *g;
+}

@@ -1,0 +1,24 @@
+//! Lock-discipline fixture: a seeded pairwise lock-order inversion.
+//! `push_frame` takes `queue` then `stats`; `summarize` takes `stats`
+//! then `queue` — the classic deadlock seed. The pass must report the
+//! inversion at both sites.
+
+struct Shared {
+    queue: std::sync::Mutex<Vec<u64>>,
+    stats: std::sync::Mutex<(u64, u64)>,
+}
+
+impl Shared {
+    fn push_frame(&self, id: u64) {
+        let mut q = self.queue.lock().unwrap();
+        let mut s = self.stats.lock().unwrap();
+        q.push(id);
+        s.0 += 1;
+    }
+
+    fn summarize(&self) -> u64 {
+        let s = self.stats.lock().unwrap();
+        let q = self.queue.lock().unwrap();
+        s.0 + q.len() as u64
+    }
+}

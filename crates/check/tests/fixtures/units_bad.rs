@@ -1,0 +1,19 @@
+//! Time-unit audit fixture: seeded suffix mix-ups. Each `BAD:` line must
+//! be flagged; the `ok:` lines must not.
+
+fn mixed(start_ms: u64, end_ns: u64, deadline_us: u64, clock: &Clock) {
+    let _d = end_ns - start_ms; // BAD: ns minus ms
+    let _late = deadline_us < clock.now_ns(); // BAD: us compared to ns
+    let mut acc_ns = 0; // ok: zero is unit-free
+    acc_ns += start_ms; // BAD: ms added into ns accumulator
+    let _same = end_ns - end_ns; // ok: same unit
+    let _scaled = end_ns + frame_budget(); // ok: unsuffixed rhs
+}
+
+fn bare(cfg: &mut Config) {
+    let timeout_ms = 500; // BAD: bare literal into unit-suffixed name
+    cfg.retry_us = 250; // BAD: bare literal assignment
+    let frames = 500; // ok: not unit-suffixed
+    let zero_ns = 0; // ok: zero
+    let _ = (timeout_ms, frames, zero_ns);
+}

@@ -1,0 +1,96 @@
+//! Saturation behaviour of the Algorithm 1 regulator under sustained
+//! overload: processing time exceeding the frame interval for a long run
+//! of consecutive frames. The accumulated debt must stay finite and
+//! well-behaved, and — with a debt bound — the catch-up burst after the
+//! overload ends must be limited to the configured number of intervals.
+
+use std::time::Duration;
+
+use odr_core::FpsRegulator;
+
+const INTERVAL: Duration = Duration::from_millis(20); // 50 FPS
+const SLOW: Duration = Duration::from_millis(35); // 15 ms over budget
+const FAST: Duration = Duration::from_millis(1);
+
+#[test]
+fn sustained_overload_never_overflows_the_balance() {
+    let mut reg = FpsRegulator::new(50.0);
+    for _ in 0..1_000_000 {
+        let sleep = reg.on_frame_processed(SLOW);
+        assert_eq!(sleep, Duration::ZERO, "an over-budget frame never sleeps");
+        assert!(reg.balance_secs().is_finite());
+        assert!(reg.balance_secs() <= 0.0);
+    }
+    // Unbounded Algorithm 1: debt grows linearly, exactly -0.015 s/frame.
+    let expected = -0.015 * 1_000_000.0;
+    assert!(
+        (reg.balance_secs() - expected).abs() < 1.0,
+        "balance {} drifted from {expected}",
+        reg.balance_secs()
+    );
+}
+
+#[test]
+fn debt_bound_caps_the_catchup_burst() {
+    // Allow at most 3 intervals (60 ms) of acceleration debt.
+    let mut reg = FpsRegulator::new(50.0).with_max_debt(3.0);
+    for _ in 0..10_000 {
+        assert_eq!(reg.on_frame_processed(SLOW), Duration::ZERO);
+        assert!(
+            reg.balance_secs() >= -3.0 * INTERVAL.as_secs_f64() - 1e-9,
+            "debt {} fell below the floor",
+            reg.balance_secs()
+        );
+    }
+
+    // Overload ends: fast frames repay the debt at (interval - fast) per
+    // frame. With a 60 ms floor and 19 ms repaid per frame, regulation
+    // must resume (first non-zero sleep) within ceil(60/19) + 1 frames.
+    let mut burst = 0;
+    loop {
+        burst += 1;
+        assert!(burst <= 5, "catch-up burst exceeded the debt bound");
+        if reg.on_frame_processed(FAST) > Duration::ZERO {
+            break;
+        }
+    }
+    assert_eq!(burst, 4, "60 ms debt at 19 ms/frame repays in 4 frames");
+}
+
+#[test]
+fn unbounded_regulator_repays_debt_proportionally() {
+    let mut reg = FpsRegulator::new(50.0);
+    const OVERLOADED: u32 = 100;
+    for _ in 0..OVERLOADED {
+        reg.on_frame_processed(SLOW);
+    }
+    // Debt: 100 * 15 ms = 1.5 s; repaid at 19 ms per fast frame.
+    let mut burst: u32 = 0;
+    loop {
+        burst += 1;
+        assert!(burst <= 100, "repayment must terminate");
+        if reg.on_frame_processed(FAST) > Duration::ZERO {
+            break;
+        }
+    }
+    let expect = (1.5_f64 / 0.019).ceil() as u32;
+    assert!(
+        burst.abs_diff(expect) <= 1,
+        "burst {burst} != expected ~{expect}"
+    );
+}
+
+#[test]
+fn delay_only_ablation_forgets_debt_immediately() {
+    let mut reg = FpsRegulator::new(50.0).delay_only();
+    for _ in 0..10_000 {
+        assert_eq!(reg.on_frame_processed(SLOW), Duration::ZERO);
+        assert_eq!(reg.balance_secs(), 0.0, "delay-only clamps at zero");
+    }
+    // The very first on-budget frame sleeps the full surplus: no burst.
+    let sleep = reg.on_frame_processed(FAST);
+    assert!(
+        (sleep.as_secs_f64() - 0.019).abs() < 1e-9,
+        "sleep {sleep:?} should be interval - processing"
+    );
+}

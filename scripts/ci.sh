@@ -17,6 +17,29 @@ cargo bench --no-run --workspace
 echo "== odr-check: lint + swap-protocol model checker =="
 cargo run --release -q -p odr-check -- --deny-warnings --verbose
 
+echo "== odr-check: own test suite (lexer, items, locks, api, fixtures) =="
+cargo test -q -p odr-check
+
+echo "== odr-check: API-surface snapshot =="
+# Every public item in the workspace must match the committed
+# api-surface.txt byte-for-byte; regenerate deliberately with
+# UPDATE_GOLDEN=1 cargo run -p odr-check -- api.
+cargo run --release -q -p odr-check -- api --check
+
+echo "== odr-check: byte-determinism differential =="
+# The analyzer itself must be deterministic: two runs of the lint pass
+# and two renderings of the API surface must be byte-identical.
+lint_a="$(mktemp)"; lint_b="$(mktemp)"
+api_a="$(mktemp)"; api_b="$(mktemp)"
+cargo run --release -q -p odr-check -- --lint-only >"$lint_a"
+cargo run --release -q -p odr-check -- --lint-only >"$lint_b"
+cargo run --release -q -p odr-check -- api >"$api_a"
+cargo run --release -q -p odr-check -- api >"$api_b"
+cmp "$lint_a" "$lint_b" || { echo "lint pass is nondeterministic" >&2; exit 1; }
+cmp "$api_a" "$api_b" || { echo "api surface is nondeterministic" >&2; exit 1; }
+rm -f "$lint_a" "$lint_b" "$api_a" "$api_b"
+echo "lint + api output byte-identical across runs"
+
 echo "== observability feature matrix =="
 # The obs capture path is a default-on feature; both halves of the
 # matrix must build, and the obs crate's own suite must pass with
