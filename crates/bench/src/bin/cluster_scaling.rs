@@ -1,0 +1,84 @@
+//! Cluster capacity harness: runs the same node pool under the same
+//! arrival process and the same admission SLO twice — once with every
+//! session ODR-regulated at 60 FPS, once unregulated — and reports the
+//! admitted-session and goodput gap. This is the paper's resource-
+//! efficiency claim at cluster scale: removing excessive rendering
+//! lets the same hardware serve measurably more sessions.
+//!
+//! Also sweeps the three placement policies under ODR and re-checks
+//! that the ODR run is byte-identical on 1 and 8 worker threads.
+//!
+//! ```text
+//! cargo run --release -p odr-bench --bin cluster_scaling
+//! ```
+
+use cloud3d_odr::prelude::*;
+use cloud3d_odr::workload::{Benchmark, Platform, Resolution, Scenario};
+
+const NODES: u32 = 4;
+const ARRIVAL_RATE: f64 = 1.0;
+const HORIZON_SECS: u64 = 120;
+
+fn pool(spec: RegulationSpec, placement: PlacementKind, threads: usize) -> ClusterConfig {
+    let churn = ChurnConfig::new(ARRIVAL_RATE, PolicyMix::uniform(spec));
+    ClusterConfig::new(
+        Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud),
+        NODES,
+        churn,
+    )
+    .with_horizon(Duration::from_secs(HORIZON_SECS))
+    .with_seed(0xC10D_3D)
+    .with_measure(false)
+    .with_placement(placement)
+    .with_threads(threads)
+}
+
+fn line(r: &ClusterReport) -> String {
+    format!(
+        "{:<28} admitted={:>4} shed={:>4} goodput_s={:>9.2} admission_rate={:.3}",
+        r.label,
+        r.admitted,
+        r.shed,
+        r.goodput_ns as f64 / 1e9,
+        r.admission_rate(),
+    )
+}
+
+fn main() {
+    let odr_spec = RegulationSpec::odr(FpsGoal::Target(60.0));
+
+    println!("cluster_scaling: {NODES} nodes, {ARRIVAL_RATE}/s arrivals, {HORIZON_SECS} s");
+    println!("-- regulation gap at equal SLO (first-fit) --");
+    let odr = run_cluster(&pool(odr_spec, PlacementKind::FirstFit, 1)).report;
+    let noreg = run_cluster(&pool(RegulationSpec::NoReg, PlacementKind::FirstFit, 1)).report;
+    println!("{}", line(&odr));
+    println!("{}", line(&noreg));
+    assert_eq!(odr.arrivals, noreg.arrivals, "arrival schedules must match");
+    let admit_gain = odr.admitted as f64 / noreg.admitted.max(1) as f64;
+    let goodput_gain = odr.goodput_ns as f64 / noreg.goodput_ns.max(1) as f64;
+    println!("gain: {admit_gain:.2}x admitted, {goodput_gain:.2}x goodput");
+    assert!(
+        admit_gain >= 1.5 && goodput_gain >= 1.5,
+        "expected ODR to serve >= 1.5x more than NoReg at the same SLO, \
+         measured {admit_gain:.2}x / {goodput_gain:.2}x"
+    );
+
+    println!("-- placement sweep under ODR --");
+    for placement in [
+        PlacementKind::FirstFit,
+        PlacementKind::BestFit,
+        PlacementKind::OdrAware,
+    ] {
+        let r = run_cluster(&pool(odr_spec, placement, 1)).report;
+        println!("{}", line(&r));
+    }
+
+    let serial = run_cluster(&pool(odr_spec, PlacementKind::FirstFit, 1)).report;
+    let parallel = run_cluster(&pool(odr_spec, PlacementKind::FirstFit, 8)).report;
+    assert_eq!(
+        serial.to_text(),
+        parallel.to_text(),
+        "cluster report differs between 1 and 8 threads"
+    );
+    println!("cluster_scaling: reports byte-identical across thread counts");
+}

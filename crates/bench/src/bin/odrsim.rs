@@ -31,6 +31,27 @@
 //! thread counts while still seeing the speedup. With `--trace-out`,
 //! fleet mode writes the fleet's *folded per-stage counters* (raw event
 //! logs do not survive the per-session reduction).
+//!
+//! Cluster mode (`--cluster`) simulates a node pool serving a churning
+//! session population under an admission SLO (see `odr_cluster`):
+//!
+//! * `--nodes <n>` — node-pool size \[4\]
+//! * `--arrival-rate <s>` — mean session arrivals per second \[0.5\]
+//! * `--session-secs <s>` — median session residency \[30\]
+//! * `--policy first-fit|best-fit|odr-aware` — placement \[first-fit\]
+//! * `--mix single|paper` — per-session policy mix \[single\]: `single`
+//!   gives every session the `--regulation`/`--target` spec, `paper`
+//!   draws uniformly from ODR60/ODR30/ODRMax/Int60/RVS60/NoReg
+//! * `--slo-fps <f>` / `--slo-mtp <ms>` — admission SLO \[30 / 250\]
+//! * `--kill-node <t>:<idx>` — kill node `idx` at `t` seconds
+//!   (repeatable)
+//! * `--no-measure` — skip the measured per-node sub-fleets
+//!
+//! `--duration` sets the simulated horizon and `--seed`/`--threads` keep
+//! their fleet-mode meaning (threads never change output). The report is
+//! the byte-deterministic `ClusterReport::to_text`; with `--trace-out`
+//! the control plane's placement/admission/failure events are exported
+//! on the `cluster` track.
 
 use cloud3d_odr::prelude::*;
 
@@ -54,6 +75,21 @@ fn main() {
     } else {
         config.experiment
     };
+    if let Some(cluster) = &config.cluster {
+        let cfg = cluster_config(cluster, &config, &experiment);
+        let started = std::time::Instant::now();
+        let run = run_cluster(&cfg);
+        let elapsed = started.elapsed().as_secs_f64();
+        print!("{}", run.report.to_text());
+        eprintln!(
+            "cluster: {} nodes, {} arrivals on {} thread(s) in {:.2} s wall",
+            run.report.nodes, run.report.arrivals, cfg.threads, elapsed
+        );
+        if let Some(path) = &config.trace_out {
+            write_trace(path, config.trace_format, &run.obs);
+        }
+        return;
+    }
     if let Some(sessions) = config.sessions {
         let fleet_cfg = FleetConfig::new(experiment, sessions).with_threads(config.threads);
         let started = std::time::Instant::now();
@@ -146,7 +182,62 @@ const USAGE: &str = "odrsim — simulate one cloud-3D configuration
   --trace-out <path>                   write observability trace to <path>
   --trace-format jsonl|chrome          trace file format        [jsonl]
   --sessions <n>                       fleet mode: n sessions, aggregate report
-  --threads <t>                        fleet worker threads         [1]";
+  --threads <t>                        fleet/cluster worker threads [1]
+  --cluster                            cluster mode: churn + admission control
+  --nodes <n>                          cluster node pool size       [4]
+  --arrival-rate <per-sec>             mean session arrivals/s      [0.5]
+  --session-secs <secs>                median session residency     [30]
+  --policy first-fit|best-fit|odr-aware  placement policy       [first-fit]
+  --mix single|paper                   per-session policy mix   [single]
+  --slo-fps <fps>                      admission SLO: min FPS       [30]
+  --slo-mtp <ms>                       admission SLO: max MtP       [250]
+  --kill-node <t>:<idx>                kill node idx at t seconds (repeatable)
+  --no-measure                         skip measured per-node sub-fleets";
+
+/// Cluster-mode options gathered by [`parse`].
+#[derive(Debug)]
+struct ClusterArgs {
+    nodes: u32,
+    arrival_rate: f64,
+    session_secs: u64,
+    placement: PlacementKind,
+    paper_mix: bool,
+    slo_fps: f64,
+    slo_mtp: f64,
+    kills: Vec<(f64, u32)>,
+    measure: bool,
+}
+
+/// Builds the [`ClusterConfig`] for cluster mode from the parsed CLI.
+fn cluster_config(
+    cluster: &ClusterArgs,
+    parsed: &Parsed,
+    experiment: &ExperimentConfig,
+) -> ClusterConfig {
+    let mix = if cluster.paper_mix {
+        PolicyMix::paper()
+    } else {
+        PolicyMix::uniform(experiment.spec)
+    };
+    let churn = ChurnConfig::new(cluster.arrival_rate, mix)
+        .with_mean_session(Duration::from_secs(cluster.session_secs));
+    let mut cfg = ClusterConfig::new(experiment.scenario, cluster.nodes, churn)
+        .with_horizon(experiment.duration)
+        .with_seed(experiment.seed)
+        .with_placement(cluster.placement)
+        .with_slo(Slo {
+            min_fps: cluster.slo_fps,
+            max_mtp_ms: cluster.slo_mtp,
+            ..Slo::default()
+        })
+        .with_measure(cluster.measure)
+        .with_threads(parsed.threads)
+        .with_obs(experiment.obs);
+    for &(at_secs, node) in &cluster.kills {
+        cfg = cfg.with_kill(SimTime::ZERO + Duration::from_secs_f64(at_secs), node);
+    }
+    cfg
+}
 
 /// Observability trace file formats `--trace-format` accepts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -163,6 +254,7 @@ struct Parsed {
     trace_format: TraceFormat,
     sessions: Option<u32>,
     threads: usize,
+    cluster: Option<ClusterArgs>,
     experiment: ExperimentConfig,
 }
 
@@ -182,6 +274,16 @@ fn parse(args: &[String]) -> OdrResult<Parsed> {
     let mut trace_format: Option<TraceFormat> = None;
     let mut sessions: Option<u32> = None;
     let mut threads = 1usize;
+    let mut cluster = false;
+    let mut nodes = 4u32;
+    let mut arrival_rate = 0.5f64;
+    let mut session_secs = 30u64;
+    let mut placement = PlacementKind::FirstFit;
+    let mut paper_mix = false;
+    let mut slo_fps = 30.0f64;
+    let mut slo_mtp = 250.0f64;
+    let mut kills: Vec<(f64, u32)> = Vec::new();
+    let mut measure = true;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -267,6 +369,76 @@ fn parse(args: &[String]) -> OdrResult<Parsed> {
                     return Err(OdrError::arg("need at least one thread"));
                 }
             }
+            "--cluster" => cluster = true,
+            "--nodes" => {
+                nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|_| OdrError::arg("bad node count"))?;
+                if nodes == 0 {
+                    return Err(OdrError::arg("need at least one node"));
+                }
+            }
+            "--arrival-rate" => {
+                arrival_rate = value("--arrival-rate")?
+                    .parse()
+                    .map_err(|_| OdrError::arg("bad arrival rate"))?;
+                if !(arrival_rate > 0.0) {
+                    return Err(OdrError::arg("arrival rate must be positive"));
+                }
+            }
+            "--session-secs" => {
+                session_secs = value("--session-secs")?
+                    .parse()
+                    .map_err(|_| OdrError::arg("bad session length"))?;
+                if session_secs == 0 {
+                    return Err(OdrError::arg("session length must be positive"));
+                }
+            }
+            "--policy" => {
+                let v = value("--policy")?;
+                placement = PlacementKind::parse(v)
+                    .ok_or_else(|| OdrError::arg(format!("unknown placement policy {v}")))?;
+            }
+            "--mix" => {
+                paper_mix = match value("--mix")?.as_str() {
+                    "single" => false,
+                    "paper" => true,
+                    v => return Err(OdrError::arg(format!("unknown mix {v}"))),
+                };
+            }
+            "--slo-fps" => {
+                slo_fps = value("--slo-fps")?
+                    .parse()
+                    .map_err(|_| OdrError::arg("bad SLO FPS"))?;
+                if !(slo_fps > 0.0) {
+                    return Err(OdrError::arg("SLO FPS must be positive"));
+                }
+            }
+            "--slo-mtp" => {
+                slo_mtp = value("--slo-mtp")?
+                    .parse()
+                    .map_err(|_| OdrError::arg("bad SLO MtP"))?;
+                if !(slo_mtp > 0.0) {
+                    return Err(OdrError::arg("SLO MtP must be positive"));
+                }
+            }
+            "--kill-node" => {
+                let v = value("--kill-node")?;
+                let (t, idx) = v
+                    .split_once(':')
+                    .ok_or_else(|| OdrError::arg(format!("bad kill spec {v}, want t:idx")))?;
+                let at: f64 = t
+                    .parse()
+                    .map_err(|_| OdrError::arg(format!("bad kill time in {v}")))?;
+                let node: u32 = idx
+                    .parse()
+                    .map_err(|_| OdrError::arg(format!("bad kill node in {v}")))?;
+                if !(at >= 0.0) {
+                    return Err(OdrError::arg("kill time must be non-negative"));
+                }
+                kills.push((at, node));
+            }
+            "--no-measure" => measure = false,
             other => return Err(OdrError::arg(format!("unknown option {other}"))),
         }
     }
@@ -295,6 +467,17 @@ fn parse(args: &[String]) -> OdrResult<Parsed> {
             .display(display)
             .obs(trace_out.is_some())
             .build();
+    let cluster = cluster.then_some(ClusterArgs {
+        nodes,
+        arrival_rate,
+        session_secs,
+        placement,
+        paper_mix,
+        slo_fps,
+        slo_mtp,
+        kills,
+        measure,
+    });
     Ok(Parsed {
         help,
         trace,
@@ -302,6 +485,7 @@ fn parse(args: &[String]) -> OdrResult<Parsed> {
         trace_format: trace_format.unwrap_or(TraceFormat::Jsonl),
         sessions,
         threads,
+        cluster,
         experiment,
     })
 }
@@ -427,5 +611,68 @@ mod tests {
             parse_display("freesync:144").expect("parse"),
             ClientDisplay::FreeSync { max_hz: 144.0 }
         );
+    }
+
+    #[test]
+    fn cluster_flags_parse() {
+        let p = parse(&argv(
+            "--cluster --nodes 8 --arrival-rate 1.5 --session-secs 20 --policy best-fit \
+             --mix paper --slo-fps 45 --slo-mtp 120 --kill-node 30:2 --kill-node 45:0 \
+             --no-measure",
+        ))
+        .expect("parse");
+        let c = p.cluster.expect("cluster args");
+        assert_eq!(c.nodes, 8);
+        assert_eq!(c.arrival_rate, 1.5);
+        assert_eq!(c.session_secs, 20);
+        assert_eq!(c.placement, PlacementKind::BestFit);
+        assert!(c.paper_mix);
+        assert_eq!(c.slo_fps, 45.0);
+        assert_eq!(c.slo_mtp, 120.0);
+        assert_eq!(c.kills, vec![(30.0, 2), (45.0, 0)]);
+        assert!(!c.measure);
+    }
+
+    #[test]
+    fn cluster_defaults_and_gate() {
+        assert!(parse(&[]).expect("defaults").cluster.is_none());
+        let c = parse(&argv("--cluster")).expect("parse").cluster.expect("on");
+        assert_eq!(c.nodes, 4);
+        assert_eq!(c.arrival_rate, 0.5);
+        assert_eq!(c.session_secs, 30);
+        assert_eq!(c.placement, PlacementKind::FirstFit);
+        assert!(!c.paper_mix);
+        assert_eq!(c.slo_fps, 30.0);
+        assert_eq!(c.slo_mtp, 250.0);
+        assert!(c.kills.is_empty());
+        assert!(c.measure);
+    }
+
+    #[test]
+    fn cluster_config_maps_experiment() {
+        let p = parse(&argv(
+            "--cluster --nodes 3 --duration 40 --seed 77 --threads 4 --regulation odr --target 60",
+        ))
+        .expect("parse");
+        let args = p.cluster.as_ref().expect("on");
+        let cfg = cluster_config(args, &p, &p.experiment);
+        assert_eq!(cfg.nodes, 3);
+        assert_eq!(cfg.seed, 77);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.horizon, Duration::from_secs(40));
+        assert_eq!(cfg.churn.mix.label(), "ODR60");
+    }
+
+    #[test]
+    fn bad_cluster_values_error() {
+        assert!(parse(&argv("--nodes 0")).is_err());
+        assert!(parse(&argv("--arrival-rate -1")).is_err());
+        assert!(parse(&argv("--session-secs 0")).is_err());
+        assert!(parse(&argv("--policy middling-fit")).is_err());
+        assert!(parse(&argv("--mix blend")).is_err());
+        assert!(parse(&argv("--slo-fps 0")).is_err());
+        assert!(parse(&argv("--kill-node 30")).is_err());
+        assert!(parse(&argv("--kill-node t:2")).is_err());
+        assert!(parse(&argv("--kill-node -5:2")).is_err());
     }
 }

@@ -56,7 +56,7 @@ use crate::locks;
 /// [`REALTIME_MODULES`]).
 pub const PURE_SIM_CRATES: &[&str] = &[
     "simtime", "core", "pipeline", "workload", "codec", "raster", "memsim", "netsim", "metrics",
-    "qoe", "fleet", "obs",
+    "qoe", "fleet", "cluster", "obs",
 ];
 
 /// Directories under `crates/` that are exempt from every rule family
@@ -908,6 +908,22 @@ mod tests {
         let rules: Vec<&str> = r.violations.iter().map(|v| v.rule).collect();
         assert!(rules.contains(&"determinism/instant"), "{rules:?}");
         assert!(rules.contains(&"determinism/sleep"), "{rules:?}");
+    }
+
+    #[test]
+    fn cluster_is_a_pure_sim_crate() {
+        // The cluster control plane is a serial DES over index-derived
+        // streams; like `fleet`, its worker pool may spawn OS threads,
+        // but wall-clock reads or OS randomness would break its
+        // byte-identical report contract.
+        let ok = "fn run() { std::thread::scope(|s| { s.spawn(|| 1); }); }\n";
+        let r = lint_src("crates/cluster/src/engine.rs", ok, &Allowlist::default());
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+
+        let bad = "fn run() { let t = std::time::Instant::now(); }\n";
+        let r = lint_src("crates/cluster/src/engine.rs", bad, &Allowlist::default());
+        let rules: Vec<&str> = r.violations.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"determinism/instant"), "{rules:?}");
     }
 
     #[test]

@@ -1,0 +1,524 @@
+//! Cluster configuration: node pool, churn process, SLOs, retry policy
+//! and the fault-injection schedule.
+
+use odr_core::{FpsGoal, RegulationSpec};
+use odr_pipeline::colocation::ServerCapacity;
+use odr_simtime::{Duration, Rng, SimTime};
+use odr_workload::Scenario;
+
+/// One per-session regulation policy with its arrival weight.
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyChoice {
+    /// The regulation policy sessions of this class run.
+    pub spec: RegulationSpec,
+    /// Relative arrival weight (sessions draw a class proportionally).
+    pub weight: u64,
+}
+
+/// The weighted mix of per-session regulation policies arriving sessions
+/// draw from.
+#[derive(Clone, Debug)]
+pub struct PolicyMix {
+    choices: Vec<PolicyChoice>,
+    total_weight: u64,
+}
+
+impl PolicyMix {
+    /// A mix where every session runs `spec`.
+    #[must_use]
+    pub fn uniform(spec: RegulationSpec) -> PolicyMix {
+        PolicyMix::new(vec![PolicyChoice { spec, weight: 1 }])
+    }
+
+    /// Builds a mix from explicit choices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` is empty or the total weight is zero.
+    #[must_use]
+    pub fn new(choices: Vec<PolicyChoice>) -> PolicyMix {
+        let total_weight: u64 = choices.iter().map(|c| c.weight).sum();
+        assert!(
+            !choices.is_empty() && total_weight > 0,
+            "a policy mix needs at least one positively weighted choice"
+        );
+        PolicyMix {
+            choices,
+            total_weight,
+        }
+    }
+
+    /// The paper's evaluation mix at a 60 FPS target: ODR60, ODR30,
+    /// ODRMax, Int60, RVS60 and NoReg, equally weighted.
+    #[must_use]
+    pub fn paper() -> PolicyMix {
+        let specs = [
+            RegulationSpec::odr(FpsGoal::Target(60.0)),
+            RegulationSpec::odr(FpsGoal::Target(30.0)),
+            RegulationSpec::odr(FpsGoal::Max),
+            RegulationSpec::Interval(FpsGoal::Target(60.0)),
+            RegulationSpec::rvs(FpsGoal::Target(60.0)),
+            RegulationSpec::NoReg,
+        ];
+        PolicyMix::new(
+            specs
+                .into_iter()
+                .map(|spec| PolicyChoice { spec, weight: 1 })
+                .collect(),
+        )
+    }
+
+    /// The distinct policy classes, in construction order. The index into
+    /// this slice is the *policy id* used throughout the cluster (churn
+    /// draws, calibration, reports).
+    #[must_use]
+    pub fn choices(&self) -> &[PolicyChoice] {
+        &self.choices
+    }
+
+    /// Deterministic label, e.g. `"ODR60"` or `"ODR60:2+NoReg"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let parts: Vec<String> = self
+            .choices
+            .iter()
+            .map(|c| {
+                if c.weight == 1 {
+                    c.spec.label()
+                } else {
+                    format!("{}:{}", c.spec.label(), c.weight)
+                }
+            })
+            .collect();
+        parts.join("+")
+    }
+
+    /// Draws a policy id proportionally to the weights.
+    pub(crate) fn draw(&self, rng: &mut Rng) -> usize {
+        let mut x = rng.below(self.total_weight);
+        for (i, c) in self.choices.iter().enumerate() {
+            if x < c.weight {
+                return i;
+            }
+            x -= c.weight;
+        }
+        self.choices.len() - 1
+    }
+}
+
+/// The session churn process: Poisson arrivals, log-normal residency
+/// times, policy classes drawn from a weighted mix.
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// Mean session arrivals per simulated second (Poisson process).
+    pub arrival_rate: f64,
+    /// Median session residency (log-normally distributed).
+    pub mean_session: Duration,
+    /// Multiplicative spread of the residency distribution (sigma of the
+    /// underlying normal).
+    pub session_sigma: f64,
+    /// Weighted per-session policy mix.
+    pub mix: PolicyMix,
+    /// Hard cap on generated sessions — source-side load shedding so a
+    /// mistyped arrival rate cannot exhaust memory.
+    pub max_sessions: u32,
+}
+
+impl ChurnConfig {
+    /// Default median session residency.
+    pub const DEFAULT_MEAN_SESSION: Duration = Duration::from_secs(30);
+
+    /// Default residency spread.
+    pub const DEFAULT_SESSION_SIGMA: f64 = 0.4;
+
+    /// Default cap on generated sessions.
+    pub const DEFAULT_MAX_SESSIONS: u32 = 100_000;
+
+    /// Creates a churn process with the default residency distribution.
+    #[must_use]
+    pub fn new(arrival_rate: f64, mix: PolicyMix) -> ChurnConfig {
+        ChurnConfig {
+            arrival_rate,
+            mean_session: Self::DEFAULT_MEAN_SESSION,
+            session_sigma: Self::DEFAULT_SESSION_SIGMA,
+            mix,
+            max_sessions: Self::DEFAULT_MAX_SESSIONS,
+        }
+    }
+
+    /// Sets the median session residency.
+    #[must_use]
+    pub fn with_mean_session(mut self, mean_session: Duration) -> ChurnConfig {
+        self.mean_session = mean_session;
+        self
+    }
+
+    /// Sets the residency spread.
+    #[must_use]
+    pub fn with_session_sigma(mut self, sigma: f64) -> ChurnConfig {
+        self.session_sigma = sigma;
+        self
+    }
+}
+
+/// The per-session service-level objective admission enforces.
+///
+/// A candidate placement is admissible only if, at the *post-placement*
+/// fixed point, every resident of the node (including the newcomer)
+/// still meets `min_fps` and `max_mtp_ms`, and the node's shared-GPU
+/// load stays at or below `max_gpu_load` (in units of the node's GPU;
+/// values above 1 permit oversubscription, which the QoS model converts
+/// into proportionally shared throughput).
+#[derive(Clone, Copy, Debug)]
+pub struct Slo {
+    /// Minimum predicted per-session client FPS.
+    pub min_fps: f64,
+    /// Maximum predicted per-session motion-to-photon latency in
+    /// milliseconds.
+    pub max_mtp_ms: f64,
+    /// Maximum shared-GPU load, as a multiple of the node's GPU.
+    pub max_gpu_load: f64,
+}
+
+impl Default for Slo {
+    fn default() -> Self {
+        Slo {
+            min_fps: 30.0,
+            max_mtp_ms: 250.0,
+            max_gpu_load: 4.0,
+        }
+    }
+}
+
+/// Bounded retry-with-backoff for sessions that could not be placed.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// First retry delay; doubles on every further attempt.
+    pub backoff: Duration,
+    /// Retries after the initial attempt before the session is shed.
+    pub max_retries: u32,
+    /// Load-shedding bound: a *newly arriving* session is rejected
+    /// outright when this many sessions are already waiting.
+    pub max_waiting: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            backoff: Duration::from_secs(2),
+            max_retries: 3,
+            max_waiting: 32,
+        }
+    }
+}
+
+/// A scheduled node failure: at sim-time `at`, node `node` (an index
+/// into the cluster's node vector) dies permanently and its residents
+/// are displaced.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeKill {
+    /// When the node dies.
+    pub at: SimTime,
+    /// Which node dies (cluster-local index; out-of-range kills are
+    /// ignored).
+    pub node: u32,
+}
+
+/// Which [`Placement`](crate::Placement) policy the scheduler runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlacementKind {
+    /// First admissible node in index order.
+    FirstFit,
+    /// Admissible node with the highest post-placement GPU load
+    /// (tightest pack; frees whole nodes for heavy sessions).
+    BestFit,
+    /// Admissible node with the largest post-placement QoS headroom,
+    /// predicted through the co-location fixed point.
+    OdrAware,
+}
+
+impl PlacementKind {
+    /// Deterministic label used in reports and the CLI.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementKind::FirstFit => "first-fit",
+            PlacementKind::BestFit => "best-fit",
+            PlacementKind::OdrAware => "odr-aware",
+        }
+    }
+
+    /// Parses a CLI label (`first-fit`, `best-fit`, `odr-aware`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<PlacementKind> {
+        match s {
+            "first-fit" => Some(PlacementKind::FirstFit),
+            "best-fit" => Some(PlacementKind::BestFit),
+            "odr-aware" => Some(PlacementKind::OdrAware),
+            _ => None,
+        }
+    }
+}
+
+/// One cluster simulation: a node pool serving a churning session
+/// population under an admission SLO, with optional fault injection and
+/// optional measured per-node sub-fleets.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// The workload every session runs (benchmark × resolution ×
+    /// platform).
+    pub scenario: Scenario,
+    /// Number of nodes in the pool.
+    pub nodes: u32,
+    /// Per-node execution resources.
+    pub capacity: ServerCapacity,
+    /// Simulated horizon; sessions still resident at the horizon are
+    /// truncated there.
+    pub horizon: Duration,
+    /// Base seed; every derived stream is a pure function of this and an
+    /// index (see the crate-level determinism contract).
+    pub seed: u64,
+    /// The session churn process.
+    pub churn: ChurnConfig,
+    /// The admission SLO.
+    pub slo: Slo,
+    /// Retry/load-shedding policy for unplaceable sessions.
+    pub retry: RetryPolicy,
+    /// Placement policy.
+    pub placement: PlacementKind,
+    /// Scheduled node failures.
+    pub kills: Vec<NodeKill>,
+    /// Length of each per-policy calibration run (uncontended DES that
+    /// yields the policy's activity coefficients and baseline QoS).
+    pub calibration: Duration,
+    /// Run measured per-node sub-fleets after the control plane and fold
+    /// them into the report (slower; off leaves the predicted QoS only).
+    pub measure: bool,
+    /// Worker threads for calibration and measured sub-fleets; never
+    /// changes any reported number.
+    pub threads: usize,
+    /// Id of the first node, for sharded runs whose reports merge: give
+    /// each shard a disjoint id range.
+    pub first_node_id: u32,
+    /// Record placement/admission/failure events on the observability
+    /// track (exported via the usual JSONL/Chrome exporters).
+    pub obs: bool,
+}
+
+impl ClusterConfig {
+    /// Default simulated horizon.
+    pub const DEFAULT_HORIZON: Duration = Duration::from_secs(60);
+
+    /// Default per-policy calibration run length.
+    pub const DEFAULT_CALIBRATION: Duration = Duration::from_secs(10);
+
+    /// Creates a cluster with default capacity, SLO, retry policy,
+    /// horizon and calibration, first-fit placement, no faults, measured
+    /// sub-fleets on, one worker thread.
+    #[must_use]
+    pub fn new(scenario: Scenario, nodes: u32, churn: ChurnConfig) -> ClusterConfig {
+        ClusterConfig {
+            scenario,
+            nodes,
+            capacity: ServerCapacity::default(),
+            horizon: Self::DEFAULT_HORIZON,
+            seed: 0x0D12_5EED,
+            churn,
+            slo: Slo::default(),
+            retry: RetryPolicy::default(),
+            placement: PlacementKind::FirstFit,
+            kills: Vec::new(),
+            calibration: Self::DEFAULT_CALIBRATION,
+            measure: true,
+            threads: 1,
+            first_node_id: 0,
+            obs: false,
+        }
+    }
+
+    /// Sets the simulated horizon.
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: Duration) -> ClusterConfig {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the base seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> ClusterConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the admission SLO.
+    #[must_use]
+    pub fn with_slo(mut self, slo: Slo) -> ClusterConfig {
+        self.slo = slo;
+        self
+    }
+
+    /// Sets the retry/load-shedding policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> ClusterConfig {
+        self.retry = retry;
+        self
+    }
+
+    /// Selects the placement policy.
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementKind) -> ClusterConfig {
+        self.placement = placement;
+        self
+    }
+
+    /// Schedules a node failure.
+    #[must_use]
+    pub fn with_kill(mut self, at: SimTime, node: u32) -> ClusterConfig {
+        self.kills.push(NodeKill { at, node });
+        self
+    }
+
+    /// Sets the per-policy calibration run length.
+    #[must_use]
+    pub fn with_calibration(mut self, calibration: Duration) -> ClusterConfig {
+        self.calibration = calibration;
+        self
+    }
+
+    /// Enables or disables the measured per-node sub-fleets.
+    #[must_use]
+    pub fn with_measure(mut self, measure: bool) -> ClusterConfig {
+        self.measure = measure;
+        self
+    }
+
+    /// Sets the worker-pool size for calibration and measurement.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> ClusterConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the first node id (sharded runs).
+    #[must_use]
+    pub fn with_first_node_id(mut self, first_node_id: u32) -> ClusterConfig {
+        self.first_node_id = first_node_id;
+        self
+    }
+
+    /// Sets the per-node capacity.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: ServerCapacity) -> ClusterConfig {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Enables observability capture for the control plane.
+    #[must_use]
+    pub fn with_obs(mut self, obs: bool) -> ClusterConfig {
+        self.obs = obs;
+        self
+    }
+
+    /// Deterministic report label, e.g.
+    /// `"IM/720p/Priv ODR60 4n first-fit"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{} {} {}n {}",
+            self.scenario.label(),
+            self.churn.mix.label(),
+            self.nodes,
+            self.placement.label()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odr_workload::{Benchmark, Platform, Resolution};
+
+    #[test]
+    fn mix_draw_respects_weights() {
+        let mix = PolicyMix::new(vec![
+            PolicyChoice {
+                spec: RegulationSpec::odr(FpsGoal::Target(60.0)),
+                weight: 3,
+            },
+            PolicyChoice {
+                spec: RegulationSpec::NoReg,
+                weight: 1,
+            },
+        ]);
+        let mut rng = Rng::new(7);
+        let mut counts = [0u32; 2];
+        for _ in 0..4000 {
+            counts[mix.draw(&mut rng)] += 1;
+        }
+        let frac = f64::from(counts[0]) / 4000.0;
+        assert!((frac - 0.75).abs() < 0.05, "weighted draw off: {frac}");
+    }
+
+    #[test]
+    fn mix_labels() {
+        assert_eq!(
+            PolicyMix::uniform(RegulationSpec::odr(FpsGoal::Target(60.0))).label(),
+            "ODR60"
+        );
+        let mixed = PolicyMix::new(vec![
+            PolicyChoice {
+                spec: RegulationSpec::odr(FpsGoal::Target(60.0)),
+                weight: 2,
+            },
+            PolicyChoice {
+                spec: RegulationSpec::NoReg,
+                weight: 1,
+            },
+        ]);
+        assert_eq!(mixed.label(), "ODR60:2+NoReg");
+        assert_eq!(PolicyMix::paper().choices().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one positively weighted")]
+    fn empty_mix_panics() {
+        let _ = PolicyMix::new(Vec::new());
+    }
+
+    #[test]
+    fn placement_kind_round_trips() {
+        for kind in [
+            PlacementKind::FirstFit,
+            PlacementKind::BestFit,
+            PlacementKind::OdrAware,
+        ] {
+            assert_eq!(PlacementKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(PlacementKind::parse("round-robin"), None);
+    }
+
+    #[test]
+    fn config_setters_and_label() {
+        let scenario = Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud);
+        let cfg = ClusterConfig::new(
+            scenario,
+            4,
+            ChurnConfig::new(0.5, PolicyMix::uniform(RegulationSpec::NoReg)),
+        )
+        .with_horizon(Duration::from_secs(30))
+        .with_seed(9)
+        .with_placement(PlacementKind::OdrAware)
+        .with_kill(SimTime::from_secs(10), 1)
+        .with_measure(false)
+        .with_threads(8)
+        .with_first_node_id(16);
+        assert_eq!(cfg.horizon, Duration::from_secs(30));
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.kills.len(), 1);
+        assert!(!cfg.measure);
+        assert_eq!(cfg.threads, 8);
+        assert_eq!(cfg.first_node_id, 16);
+        assert_eq!(cfg.label(), "IM/720p/Priv NoReg 4n odr-aware");
+    }
+}

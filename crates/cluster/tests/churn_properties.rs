@@ -1,0 +1,92 @@
+//! Property-based tests over the cluster engine's determinism and
+//! report-algebra invariants.
+//!
+//! Runs under the `proptest-tests` feature (on by default); the strategy
+//! engine is the std-only shim in `shims/proptest` so the suite runs
+//! fully offline. See shims/README.md.
+#![cfg(feature = "proptest-tests")]
+
+use odr_cluster::{
+    assert_conservation, run_cluster, ChurnConfig, ClusterConfig, ClusterReport, PlacementKind,
+    PolicyMix,
+};
+use odr_core::{FpsGoal, RegulationSpec};
+use odr_simtime::Duration;
+use odr_workload::{Benchmark, Platform, Resolution, Scenario};
+use proptest::prelude::*;
+
+fn scenario() -> Scenario {
+    Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud)
+}
+
+fn placement(idx: u8) -> PlacementKind {
+    match idx % 3 {
+        0 => PlacementKind::FirstFit,
+        1 => PlacementKind::BestFit,
+        _ => PlacementKind::OdrAware,
+    }
+}
+
+/// A small, fast cluster run (prediction only — measurement determinism
+/// is covered by the engine's own thread-sweep test).
+fn small_cfg(seed: u64, nodes: u32, rate: f64, place: PlacementKind) -> ClusterConfig {
+    let churn = ChurnConfig::new(
+        rate,
+        PolicyMix::uniform(RegulationSpec::odr(FpsGoal::Target(60.0))),
+    )
+    .with_mean_session(Duration::from_secs(6));
+    ClusterConfig::new(scenario(), nodes, churn)
+        .with_horizon(Duration::from_secs(12))
+        .with_calibration(Duration::from_secs(1))
+        .with_seed(seed)
+        .with_measure(false)
+        .with_placement(place)
+}
+
+/// A shard whose node ids are disjoint from every other `shard(i)`.
+fn shard(i: u32, seed: u64) -> ClusterReport {
+    let cfg = small_cfg(seed, 2, 0.9, placement(i as u8)).with_first_node_id(i * 8);
+    run_cluster(&cfg).report
+}
+
+proptest! {
+    /// Replaying the exact same configuration yields a byte-identical
+    /// report, whatever the seed, pool size, load or placement policy —
+    /// and every run satisfies the session-conservation identities.
+    #[test]
+    fn same_seed_replay_is_byte_identical(
+        seed in any::<u64>(),
+        nodes in 1u32..4,
+        rate in 0.2f64..1.6,
+        place in 0u8..3,
+    ) {
+        let cfg = small_cfg(seed, nodes, rate, placement(place));
+        let a = run_cluster(&cfg);
+        let b = run_cluster(&cfg);
+        assert_conservation(&a.report);
+        prop_assert_eq!(a.report.to_text(), b.report.to_text());
+        prop_assert_eq!(format!("{:?}", a.obs), format!("{:?}", b.obs));
+    }
+
+    /// `ClusterReport::merge` is commutative: folding two disjoint shards
+    /// in either order yields byte-identical text.
+    #[test]
+    fn merge_is_commutative(seed in any::<u64>()) {
+        let a = shard(0, seed);
+        let b = shard(1, seed ^ 0x5bd1_e995);
+        prop_assert_eq!(a.merge(&b).to_text(), b.merge(&a).to_text());
+    }
+
+    /// `ClusterReport::merge` is associative: any grouping of three
+    /// disjoint shards reduces to the same bytes, so a sharded reduction
+    /// tree may combine partial reports in any shape.
+    #[test]
+    fn merge_is_associative(seed in any::<u64>()) {
+        let a = shard(0, seed);
+        let b = shard(1, seed.wrapping_add(1));
+        let c = shard(2, seed.wrapping_add(2));
+        let left = a.merge(&b).merge(&c);
+        let right = a.merge(&b.merge(&c));
+        prop_assert_eq!(left.to_text(), right.to_text());
+    }
+}

@@ -112,9 +112,7 @@ pub fn capacity_curve(
 /// place of closed-form ones. Returns `(streams, slowdown, per-stage
 /// contended busy fractions)`.
 fn des_fixed_point(mem: &MemoryParams, per_stage: [f64; 4], k: f64) -> (f64, f64, [f64; 4]) {
-    let measured: f64 = per_stage.iter().sum();
-    let self_slowdown = mem.slowdown_for_streams(measured.max(1.0));
-    let coeff = per_stage.map(|b| b / self_slowdown);
+    let coeff = uncontended_coefficients(mem, per_stage);
     let mut slowdown = 1.0f64;
     let mut streams = 0.0;
     for _ in 0..64 {
@@ -127,6 +125,114 @@ fn des_fixed_point(mem: &MemoryParams, per_stage: [f64; 4], k: f64) -> (f64, f64
         slowdown = next;
     }
     (streams, slowdown, coeff.map(|c| (c * slowdown).min(1.0)))
+}
+
+/// Divides the self-contention slowdown out of DES-measured per-stage
+/// busy fractions, recovering the *uncontended* activity coefficients the
+/// co-location fixed point iterates on.
+///
+/// A dedicated-server DES session still contends with its own streams:
+/// its measured busy fractions are inflated by the mean-field slowdown of
+/// its own concurrency. Busy fractions scale linearly with slowdown, so
+/// dividing that self-slowdown out yields coefficients comparable across
+/// any co-location level. This is the calibration step shared by
+/// [`capacity_curve`] and the cluster scheduler's admission model.
+#[must_use]
+pub fn uncontended_coefficients(mem: &MemoryParams, per_stage: [f64; 4]) -> [f64; 4] {
+    let measured: f64 = per_stage.iter().sum();
+    let self_slowdown = mem.slowdown_for_streams(measured.max(1.0));
+    per_stage.map(|b| b / self_slowdown)
+}
+
+/// Solves the co-location fixed point for a *heterogeneous* session set.
+///
+/// Each entry of `sets` holds one session's uncontended per-stage
+/// coefficients (from [`uncontended_coefficients`]); sessions may run
+/// different policies and therefore different coefficient sets — the
+/// cluster scheduler's nodes mix ODR, Interval, RVS and NoReg residents.
+/// Iterates `slowdown -> per-session busy -> streams -> slowdown` exactly
+/// like [`ColocationModel::evaluate`] and the homogeneous calibration
+/// path, summing session contributions in `sets` order (bit-reproducible
+/// for a fixed order). Returns `(streams, slowdown)` at convergence;
+/// an empty set yields `(0.0, slowdown_for_streams(1.0))`.
+#[must_use]
+pub fn mixed_fixed_point(mem: &MemoryParams, sets: &[[f64; 4]]) -> (f64, f64) {
+    let mut slowdown = 1.0f64;
+    let mut streams = 0.0;
+    for _ in 0..64 {
+        streams = sets
+            .iter()
+            .map(|coeff| coeff.iter().map(|c| (c * slowdown).min(1.0)).sum::<f64>())
+            .sum::<f64>();
+        let next = mem.slowdown_for_streams(streams.max(1.0));
+        if (next - slowdown).abs() < 1e-9 {
+            slowdown = next;
+            break;
+        }
+        slowdown = next;
+    }
+    (streams, slowdown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odr_workload::{Benchmark, Platform, Resolution, Scenario};
+
+    fn mem() -> MemoryParams {
+        Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud).memory_params()
+    }
+
+    #[test]
+    fn mixed_fixed_point_agrees_with_the_homogeneous_solver() {
+        let mem = mem();
+        let per_stage = [0.30, 0.50, 0.08, 0.12];
+        let coeff = uncontended_coefficients(&mem, per_stage);
+        for k in [1u32, 4, 8, 16] {
+            let (hom_streams, hom_slowdown, _) = des_fixed_point(&mem, per_stage, f64::from(k));
+            let sets = vec![coeff; k as usize];
+            let (mix_streams, mix_slowdown) = mixed_fixed_point(&mem, &sets);
+            assert!(
+                (hom_streams - mix_streams).abs() < 1e-6,
+                "k={k}: {hom_streams} vs {mix_streams}"
+            );
+            assert!(
+                (hom_slowdown - mix_slowdown).abs() < 1e-6,
+                "k={k}: {hom_slowdown} vs {mix_slowdown}"
+            );
+        }
+    }
+
+    #[test]
+    fn uncontended_coefficients_divide_out_self_slowdown() {
+        let mem = mem();
+        let per_stage = [0.2, 0.4, 0.1, 0.1];
+        let coeff = uncontended_coefficients(&mem, per_stage);
+        let self_slowdown = mem.slowdown_for_streams(0.8f64.max(1.0));
+        for (c, b) in coeff.iter().zip(per_stage) {
+            assert!((c * self_slowdown - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_mixed_set_is_idle() {
+        let mem = mem();
+        let (streams, slowdown) = mixed_fixed_point(&mem, &[]);
+        assert_eq!(streams, 0.0);
+        assert!((slowdown - mem.slowdown_for_streams(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_contention_grows_with_residents() {
+        let mem = mem();
+        let light = uncontended_coefficients(&mem, [0.2, 0.3, 0.05, 0.08]);
+        let heavy = uncontended_coefficients(&mem, [0.5, 0.9, 0.2, 0.25]);
+        let (s1, d1) = mixed_fixed_point(&mem, &[light]);
+        let (s2, d2) = mixed_fixed_point(&mem, &[light, heavy]);
+        let (s3, d3) = mixed_fixed_point(&mem, &[light, heavy, heavy]);
+        assert!(s2 > s1 && s3 > s2);
+        assert!(d2 >= d1 && d3 >= d2);
+    }
 }
 
 /// Renders a capacity curve as a deterministic text table (one line per

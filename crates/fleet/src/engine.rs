@@ -2,7 +2,7 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use odr_pipeline::run_experiment;
+use odr_pipeline::{run_experiment, ExperimentConfig};
 
 use crate::config::FleetConfig;
 use crate::report::{FleetReport, SessionOutcome};
@@ -23,11 +23,37 @@ use crate::report::{FleetReport, SessionOutcome};
 /// Re-raises any panic from a worker thread.
 #[must_use]
 pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
-    let sessions = cfg.sessions;
-    let threads = cfg.effective_threads();
+    let configs: Vec<ExperimentConfig> =
+        (0..cfg.sessions).map(|i| cfg.session_config(i)).collect();
+    let outcomes = run_outcomes(&configs, cfg.effective_threads());
+    FleetReport::reduce(cfg.base.label(), &outcomes)
+}
+
+/// Simulates one session per entry of `configs` — heterogeneous shapes
+/// allowed — and returns the outcomes sorted by index (the position in
+/// `configs`).
+///
+/// This is the primitive under [`run_fleet`] and the entry point other
+/// layers (the cluster scheduler's per-node sub-fleets, policy
+/// calibration sweeps) use to run a mixed bag of sessions under the same
+/// determinism contract: workers claim indices from a shared atomic
+/// counter, so thread assignment is racy but no session's inputs depend
+/// on it, and the returned order is always `0..configs.len()`. Callers
+/// choose the seeds — derive them with
+/// [`session_seed`](crate::session_seed) to stay inside the contract.
+///
+/// `threads` is clamped to `1..=configs.len()` (one worker minimum).
+///
+/// # Panics
+///
+/// Re-raises any panic from a worker thread.
+#[must_use]
+pub fn run_outcomes(configs: &[ExperimentConfig], threads: usize) -> Vec<SessionOutcome> {
+    let total = configs.len() as u32;
+    let threads = threads.clamp(1, configs.len().max(1));
     let next = AtomicU32::new(0);
 
-    let mut outcomes: Vec<SessionOutcome> = Vec::with_capacity(sessions as usize);
+    let mut outcomes: Vec<SessionOutcome> = Vec::with_capacity(configs.len());
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
@@ -35,12 +61,12 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
                     let mut mine = Vec::new();
                     loop {
                         let index = next.fetch_add(1, Ordering::Relaxed);
-                        if index >= sessions {
+                        if index >= total {
                             break;
                         }
-                        let session_cfg = cfg.session_config(index);
-                        let report = run_experiment(&session_cfg);
-                        mine.push(SessionOutcome::from_report(index, &session_cfg, &report));
+                        let session_cfg = &configs[index as usize];
+                        let report = run_experiment(session_cfg);
+                        mine.push(SessionOutcome::from_report(index, session_cfg, &report));
                     }
                     mine
                 })
@@ -55,8 +81,8 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
     });
 
     outcomes.sort_by_key(|o| o.index);
-    debug_assert_eq!(outcomes.len(), sessions as usize);
-    FleetReport::reduce(cfg.base.label(), &outcomes)
+    debug_assert_eq!(outcomes.len(), configs.len());
+    outcomes
 }
 
 #[cfg(test)]
@@ -98,6 +124,32 @@ mod tests {
     fn more_threads_than_sessions_is_fine() {
         let r = run_fleet(&tiny(2).with_threads(64));
         assert_eq!(r.sessions, 2);
+    }
+
+    #[test]
+    fn run_outcomes_handles_heterogeneous_configs() {
+        let scenario = Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud);
+        let configs = [
+            ExperimentConfig::builder(scenario, RegulationSpec::odr(FpsGoal::Target(60.0)))
+                .duration(Duration::from_secs(2))
+                .seed(7)
+                .build(),
+            ExperimentConfig::builder(scenario, RegulationSpec::NoReg)
+                .duration(Duration::from_secs(2))
+                .seed(8)
+                .build(),
+        ];
+        let serial = run_outcomes(&configs, 1);
+        let parallel = run_outcomes(&configs, 4);
+        assert_eq!(serial.len(), 2);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.client_fps.to_bits(), b.client_fps.to_bits());
+            assert_eq!(a.power_w.to_bits(), b.power_w.to_bits());
+        }
+        // The NoReg session renders flat out: measurably faster.
+        assert!(serial[1].client_fps > serial[0].client_fps);
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub mod config;
 pub mod engine;
 pub mod report;
 
-pub use capacity::{capacity_curve, curve_to_text, CapacityPoint};
+pub use capacity::{
+    capacity_curve, curve_to_text, mixed_fixed_point, uncontended_coefficients, CapacityPoint,
+};
 pub use config::{session_seed, FleetConfig, FleetConfigBuilder};
-pub use engine::run_fleet;
+pub use engine::{run_fleet, run_outcomes};
 pub use report::{FleetReport, SessionOutcome, SessionRow};

@@ -95,3 +95,67 @@ fn model_tracks_the_fleet_des_at_k_1_2_4() {
         4.0 * per_session
     );
 }
+
+#[test]
+fn model_tracks_the_fleet_des_at_k_8_16() {
+    // Deep-oversubscription extension of the k <= 4 check: at 8 and 16
+    // co-located sessions the node is far past its GPU, so the regulated
+    // pipelines run throughput-bound and the contention fixed point sits
+    // on the steep part of the DRAM curve. Tolerances are stated per
+    // quantity and looser than at k <= 4 because both fixed points
+    // amplify small busy-fraction gaps there:
+    //
+    // * expected streams: 30% (aggregate of four per-stage fractions),
+    // * DRAM slowdown: 30% (same gap pushed through the curve),
+    // * GPU load: 50% (single coefficient x slowdown, compounding).
+    let base = ExperimentConfig::new(
+        Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud),
+        RegulationSpec::odr(FpsGoal::Target(60.0)),
+    )
+    .with_duration(Duration::from_secs(20));
+    let capacity = ServerCapacity::default();
+    let curve = capacity_curve(&base, capacity, 60.0, &[8, 16], 8);
+    assert_eq!(curve.len(), 2);
+
+    for p in &curve {
+        assert!(
+            rel(p.model.expected_streams, p.des_contended_streams) < 0.30,
+            "k={}: model streams {} vs DES {}",
+            p.sessions,
+            p.model.expected_streams,
+            p.des_contended_streams
+        );
+        assert!(
+            rel(p.model.slowdown, p.des_slowdown) < 0.30,
+            "k={}: model slowdown {} vs DES {}",
+            p.sessions,
+            p.model.slowdown,
+            p.des_slowdown
+        );
+        assert!(
+            rel(p.model.gpu_load, p.des_gpu_load) < 0.50,
+            "k={}: model gpu {} vs DES {}",
+            p.sessions,
+            p.model.gpu_load,
+            p.des_gpu_load
+        );
+        // This deep into oversubscription a 60 FPS target cannot hold on
+        // one GPU: the model must call the operating point infeasible.
+        assert!(
+            !p.model.feasible,
+            "k={}: model claims 60 FPS is feasible past GPU saturation",
+            p.sessions
+        );
+    }
+
+    // Contention keeps rising from 8 to 16 sessions, and measured
+    // streams stay linear in k (DES sessions are independent).
+    assert!(curve[1].des_streams > curve[0].des_streams);
+    assert!(curve[1].fleet_power_w > curve[0].fleet_power_w);
+    assert!(
+        rel(curve[1].des_streams, 2.0 * curve[0].des_streams) < 0.10,
+        "k=16 streams {} vs 2x k=8 {}",
+        curve[1].des_streams,
+        2.0 * curve[0].des_streams
+    );
+}

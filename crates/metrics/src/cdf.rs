@@ -17,6 +17,14 @@ pub struct Cdf {
     sorted: Vec<f64>,
 }
 
+impl Default for Cdf {
+    /// The empty CDF ([`Cdf::from_samples`] of nothing): zero samples,
+    /// every quantile 0.0. The identity of [`Cdf::merge`].
+    fn default() -> Self {
+        Cdf::from_samples([])
+    }
+}
+
 impl Cdf {
     /// Builds a CDF from an iterator of samples; non-finite values are
     /// discarded.

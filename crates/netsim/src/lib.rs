@@ -499,6 +499,70 @@ mod tests {
     }
 
     #[test]
+    fn retransmission_head_of_line_blocking_is_exact() {
+        // Structural check of the recovery model: every retransmission
+        // costs one RTO (2x one-way latency, floored at 10 ms) plus one
+        // re-serialisation, the wire stays occupied until the *final*
+        // copy leaves, and the next message cannot start serialising
+        // before then — even if that message is itself clean.
+        let params = LinkParams {
+            latency: Duration::from_millis(30),
+            jitter_sigma: 0.0,
+            bandwidth_bps: 8e6, // 1 MB/s => 100 kB serialises in 100 ms
+            buffer_cap_bytes: None,
+            loss_prob: 0.999,
+        };
+        let tx_time = Duration::from_millis(100);
+        let rto = Duration::from_millis(60); // 2 x 30 ms, above the floor
+
+        let mut link = Link::new(params, Rng::new(7));
+        let a = link.send(SimTime::ZERO, 100_000);
+        let k = link.retransmissions();
+        // At 99.9% loss the cap must bind: exactly 3 retransmissions.
+        assert_eq!(k, 3, "retransmissions must cap at 3");
+        assert_eq!(a.tx_start, SimTime::ZERO);
+        // tx_end = serialise + 3 x (RTO + re-serialise), exactly.
+        let expected_end = a.tx_start + tx_time + (rto + tx_time).saturating_mul(k as u32);
+        assert_eq!(a.tx_end, expected_end);
+        assert_eq!(a.arrival, a.tx_end + params.latency);
+
+        // Head-of-line blocking: a message submitted while the first is
+        // still recovering starts exactly when the final copy of the
+        // first left the wire, and inherits its full recovery delay.
+        let b = link.send(SimTime::ZERO + Duration::from_millis(1), 100_000);
+        assert_eq!(b.tx_start, a.tx_end, "line must stay blocked until recovery ends");
+        let b_retx = link.retransmissions() - k;
+        assert_eq!(
+            b.tx_end,
+            b.tx_start + tx_time + (rto + tx_time).saturating_mul(b_retx as u32)
+        );
+
+        // The RTO floor: at sub-5 ms latency the timeout is 10 ms, not
+        // 2 x latency.
+        let mut floored = Link::new(
+            LinkParams {
+                latency: Duration::from_millis(1),
+                ..params
+            },
+            Rng::new(7),
+        );
+        let f = floored.send(SimTime::ZERO, 100_000);
+        assert_eq!(floored.retransmissions(), 3);
+        let floor_rto = Duration::from_millis(10);
+        assert_eq!(
+            f.tx_end,
+            f.tx_start + tx_time + (floor_rto + tx_time).saturating_mul(3)
+        );
+
+        // Recovery time counts as wire occupancy: utilisation accounts
+        // the re-serialisations (4 copies of a + copies of b), not just
+        // the two goodput copies.
+        let copies = (4 + 1 + b_retx) as u32;
+        let busy = tx_time.saturating_mul(copies).as_secs_f64();
+        assert!((link.utilisation(b.tx_end) - busy / b.tx_end.as_secs_f64()).abs() < 1e-12);
+    }
+
+    #[test]
     #[should_panic(expected = "loss probability out of range")]
     fn invalid_loss_panics() {
         let mut p = LinkParams::private_cloud();

@@ -132,6 +132,9 @@ pub mod track {
     pub const BUF1: u32 = 5;
     /// Mul-Buf2 (encoded frames, proxy → sender).
     pub const BUF2: u32 = 6;
+    /// The cluster scheduler's control-plane lane (placement, admission,
+    /// node failures).
+    pub const CLUSTER: u32 = 7;
 
     /// Human-readable lane name for exporters.
     #[must_use]
@@ -144,6 +147,7 @@ pub mod track {
             REGULATOR => "regulator",
             BUF1 => "buf1",
             BUF2 => "buf2",
+            CLUSTER => "cluster",
             _ => "track",
         }
     }
@@ -197,6 +201,31 @@ pub mod names {
     pub const REG_CANCEL: &str = "regulator.priority_cancel";
     /// Sampled `acc_delay` balance after a frame (value: seconds).
     pub const REG_ACC_DELAY: &str = "regulator.acc_delay";
+
+    // Cluster-scheduler instants (track::CLUSTER). The `id` is the global
+    // session index (the node index for `cluster.node_kill`); none of the
+    // names carries the `.drop`/`.priority_flush` suffixes the counter
+    // folder special-cases, so each counts as its own stage.
+
+    /// A session arrived at the cluster (id: session).
+    pub const CLUSTER_ARRIVAL: &str = "cluster.arrival";
+    /// A session was admitted onto a node (id: session, value: node).
+    pub const CLUSTER_ADMIT: &str = "cluster.admit";
+    /// A session could not be placed and was requeued with backoff
+    /// (id: session, value: attempt number).
+    pub const CLUSTER_REQUEUE: &str = "cluster.requeue";
+    /// A session was shed — rejected outright or after exhausting its
+    /// retries (id: session).
+    pub const CLUSTER_SHED: &str = "cluster.shed";
+    /// A session completed its residency and departed (id: session,
+    /// value: node).
+    pub const CLUSTER_DEPART: &str = "cluster.depart";
+    /// A node was killed by fault injection (id: node, value: sessions
+    /// displaced).
+    pub const CLUSTER_KILL: &str = "cluster.node_kill";
+    /// A session was displaced by a node failure (id: session, value: the
+    /// failed node).
+    pub const CLUSTER_DISPLACE: &str = "cluster.displace";
 }
 
 #[cfg(test)]
@@ -230,6 +259,7 @@ mod tests {
             track::REGULATOR,
             track::BUF1,
             track::BUF2,
+            track::CLUSTER,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {

@@ -92,4 +92,35 @@ echo "fleet report identical with tracing on vs off"
 echo "== fleet scaling (64 sessions, 1 vs 8 threads) =="
 cargo run --release -q -p odr-bench --bin fleet_scaling
 
+echo "== cluster determinism differential (1 thread vs all cores) =="
+# The cluster scheduler extends the fleet promise: control plane,
+# calibration and measured sub-fleets must produce byte-identical
+# reports regardless of worker count. Includes a node kill so the
+# displacement path is covered too.
+out_cluster_serial="$(mktemp)"
+out_cluster_parallel="$(mktemp)"
+trap 'rm -f "$out_serial" "$out_parallel" "$out_traced" "$trace_file" "$out_cluster_serial" "$out_cluster_parallel"' EXIT
+cargo run --release -q -p odr-bench --bin odrsim -- \
+    --cluster --nodes 4 --arrival-rate 1.0 --duration 60 --seed 42 \
+    --regulation odr --target 60 --kill-node 30:1 \
+    --threads 1 >"$out_cluster_serial" 2>/dev/null
+cargo run --release -q -p odr-bench --bin odrsim -- \
+    --cluster --nodes 4 --arrival-rate 1.0 --duration 60 --seed 42 \
+    --regulation odr --target 60 --kill-node 30:1 \
+    --threads "$threads" >"$out_cluster_parallel" 2>/dev/null
+if ! cmp -s "$out_cluster_serial" "$out_cluster_parallel"; then
+    echo "cluster determinism differential FAILED: 1 thread vs $threads threads differ" >&2
+    diff "$out_cluster_serial" "$out_cluster_parallel" | head -20 >&2
+    exit 1
+fi
+echo "cluster report identical on 1 vs $threads thread(s)"
+
+echo "== cluster feature matrix (prediction-only build) =="
+# The cluster crate must build and pass its unit tests with obs capture
+# and the proptest suite compiled out.
+cargo test -q -p odr-cluster --no-default-features
+
+echo "== cluster scaling (ODR vs NoReg capacity at equal SLO) =="
+cargo run --release -q -p odr-bench --bin cluster_scaling
+
 echo "ci: all green"

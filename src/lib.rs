@@ -20,6 +20,9 @@
 //! * [`qoe`] — the user-study model (Figures 14–15);
 //! * [`fleet`] — N independent sessions reduced into one deterministic
 //!   fleet report;
+//! * [`cluster`] — a deterministic cluster scheduler over the fleet
+//!   engine: session churn, SLO admission control, pluggable placement
+//!   and node fault injection;
 //! * [`obs`] — the structured observability layer: sim-time-stamped
 //!   spans and counters with JSONL and Chrome-trace exporters;
 //! * [`metrics`] / [`simtime`] — measurement and deterministic-simulation
@@ -42,6 +45,7 @@
 //! Regenerate the paper's tables and figures with
 //! `cargo run --release -p odr-bench --bin repro`.
 
+pub use odr_cluster as cluster;
 pub use odr_codec as codec;
 pub use odr_core as odr;
 pub use odr_fleet as fleet;
@@ -63,6 +67,10 @@ pub mod prelude {
     pub use odr_core::{
         FpsGoal, FpsRegulator, OdrError, OdrOptions, OdrResult, PriorityGate, RegulationSpec,
         SyncQueue,
+    };
+    pub use odr_cluster::{
+        run_cluster, ChurnConfig, ClusterConfig, ClusterReport, PlacementKind, PolicyMix,
+        RetryPolicy, Slo,
     };
     pub use odr_fleet::{run_fleet, FleetConfig, FleetConfigBuilder, FleetReport};
     pub use odr_obs::{
