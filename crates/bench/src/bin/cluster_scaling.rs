@@ -5,15 +5,20 @@
 //! efficiency claim at cluster scale: removing excessive rendering
 //! lets the same hardware serve measurably more sessions.
 //!
-//! Also sweeps the three placement policies under ODR and re-checks
-//! that the ODR run is byte-identical on 1 and 8 worker threads.
+//! Also sweeps the three placement policies under ODR, re-checks that
+//! the ODR run is byte-identical on 1 and 8 worker threads, and writes
+//! `BENCH_cluster.json` (wall-clock sessions/s and frames/s plus a
+//! peak-RSS estimate) for machine consumption by CI trend tooling.
 //!
 //! ```text
 //! cargo run --release -p odr-bench --bin cluster_scaling
 //! ```
 
+use std::time::Instant;
+
 use cloud3d_odr::prelude::*;
 use cloud3d_odr::workload::{Benchmark, Platform, Resolution, Scenario};
+use odr_bench::emit::{peak_rss_bytes, BenchJson};
 
 const NODES: u32 = 4;
 const ARRIVAL_RATE: f64 = 1.0;
@@ -49,7 +54,12 @@ fn main() {
 
     println!("cluster_scaling: {NODES} nodes, {ARRIVAL_RATE}/s arrivals, {HORIZON_SECS} s");
     println!("-- regulation gap at equal SLO (first-fit) --");
-    let odr = run_cluster(&pool(odr_spec, PlacementKind::FirstFit, 1)).report;
+    // The ODR run measures its per-node sub-fleets so the JSON emission
+    // below can report real frame counts; `report` is unaffected.
+    let start = Instant::now();
+    let odr_run = run_cluster(&pool(odr_spec, PlacementKind::FirstFit, 1).with_measure(true));
+    let odr_wall_s = start.elapsed().as_secs_f64();
+    let odr = odr_run.report;
     let noreg = run_cluster(&pool(RegulationSpec::NoReg, PlacementKind::FirstFit, 1)).report;
     println!("{}", line(&odr));
     println!("{}", line(&noreg));
@@ -81,4 +91,33 @@ fn main() {
         "cluster report differs between 1 and 8 threads"
     );
     println!("cluster_scaling: reports byte-identical across thread counts");
+
+    let mut json = BenchJson::default();
+    json.str("bench", "cluster_scaling")
+        .int("nodes", u64::from(NODES))
+        .int("horizon_secs", HORIZON_SECS)
+        .int("arrivals", odr.arrivals)
+        .int("admitted", odr.admitted)
+        .int("frames_rendered", odr_run.measured.frames_rendered)
+        .num("wall_s", odr_wall_s)
+        .num("sessions_per_sec", odr.arrivals as f64 / odr_wall_s.max(1e-9))
+        .num(
+            "frames_per_sec",
+            odr_run.measured.frames_rendered as f64 / odr_wall_s.max(1e-9),
+        )
+        .num("admit_gain", admit_gain)
+        .num("goodput_gain", goodput_gain);
+    match peak_rss_bytes() {
+        Some(rss) => {
+            json.int("peak_rss_bytes", rss);
+        }
+        None => {
+            json.num("peak_rss_bytes", f64::NAN);
+        }
+    }
+    let path = std::path::Path::new("BENCH_cluster.json");
+    match json.write(path) {
+        Ok(()) => println!("cluster_scaling: wrote {}", path.display()),
+        Err(e) => eprintln!("cluster_scaling: could not write {}: {e}", path.display()),
+    }
 }

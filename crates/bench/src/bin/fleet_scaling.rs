@@ -7,6 +7,10 @@
 //! engine is serialising somewhere). On smaller hosts the numbers are
 //! reported only — a container pinned to one core cannot speed up.
 //!
+//! Also writes `BENCH_fleet.json` next to the working directory:
+//! wall-clock throughput (sessions/s, frames/s) per thread count plus a
+//! peak-RSS estimate, for machine consumption by CI trend tooling.
+//!
 //! ```text
 //! cargo run --release -p odr-bench --bin fleet_scaling
 //! ```
@@ -14,11 +18,12 @@
 use std::time::Instant;
 
 use cloud3d_odr::prelude::*;
+use odr_bench::emit::{peak_rss_bytes, BenchJson};
 
 const SESSIONS: u32 = 64;
 const PARALLEL_THREADS: usize = 8;
 
-fn timed_run(threads: usize) -> (String, f64) {
+fn timed_run(threads: usize) -> (FleetReport, f64) {
     let cfg = FleetConfig::builder(
         Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud),
         RegulationSpec::odr(FpsGoal::Target(60.0)),
@@ -29,13 +34,13 @@ fn timed_run(threads: usize) -> (String, f64) {
     .build();
     let start = Instant::now();
     let report = run_fleet(&cfg);
-    (report.to_text(), start.elapsed().as_secs_f64())
+    (report, start.elapsed().as_secs_f64())
 }
 
 fn main() {
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
-    let (serial_text, serial_s) = timed_run(1);
-    let (parallel_text, parallel_s) = timed_run(PARALLEL_THREADS);
+    let (serial, serial_s) = timed_run(1);
+    let (parallel, parallel_s) = timed_run(PARALLEL_THREADS);
     let speedup = serial_s / parallel_s.max(1e-9);
 
     println!(
@@ -45,10 +50,47 @@ fn main() {
     );
 
     assert_eq!(
-        serial_text, parallel_text,
+        serial.to_text(),
+        parallel.to_text(),
         "fleet report differs between 1 and {PARALLEL_THREADS} threads"
     );
     println!("fleet_scaling: reports byte-identical across thread counts");
+
+    let mut json = BenchJson::default();
+    json.str("bench", "fleet_scaling")
+        .int("sessions", u64::from(SESSIONS))
+        .int("frames_rendered", serial.frames_rendered)
+        .int("cores", cores as u64)
+        .num("serial_wall_s", serial_s)
+        .num("parallel_wall_s", parallel_s)
+        .int("parallel_threads", PARALLEL_THREADS as u64)
+        .num("speedup", speedup)
+        .num("serial_sessions_per_sec", f64::from(SESSIONS) / serial_s.max(1e-9))
+        .num(
+            "parallel_sessions_per_sec",
+            f64::from(SESSIONS) / parallel_s.max(1e-9),
+        )
+        .num(
+            "serial_frames_per_sec",
+            serial.frames_rendered as f64 / serial_s.max(1e-9),
+        )
+        .num(
+            "parallel_frames_per_sec",
+            parallel.frames_rendered as f64 / parallel_s.max(1e-9),
+        );
+    match peak_rss_bytes() {
+        Some(rss) => {
+            json.int("peak_rss_bytes", rss);
+        }
+        None => {
+            json.num("peak_rss_bytes", f64::NAN);
+        }
+    }
+    let path = std::path::Path::new("BENCH_fleet.json");
+    match json.write(path) {
+        Ok(()) => println!("fleet_scaling: wrote {}", path.display()),
+        Err(e) => eprintln!("fleet_scaling: could not write {}: {e}", path.display()),
+    }
 
     if cores >= PARALLEL_THREADS {
         // Loose bound: perfectly parallel work should scale near-linearly,

@@ -1,0 +1,150 @@
+//! Machine-readable benchmark emission: a tiny, std-only JSON writer
+//! for the scaling harnesses (`BENCH_fleet.json`, `BENCH_cluster.json`).
+//!
+//! Keys render in insertion order and numbers use Rust's shortest
+//! round-trip `Display`, so the same measurements always serialize to
+//! the same bytes — the files diff cleanly across runs even though the
+//! measurements themselves are wall-clock dependent. Peak RSS comes
+//! from `/proc/self/status` (`VmHWM`), so it is an estimate and absent
+//! off Linux.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One JSON scalar. Floats are rendered via `Display` (shortest
+/// round-trip); non-finite floats degrade to `null`.
+#[derive(Debug, Clone)]
+pub enum Scalar {
+    /// Unsigned integer.
+    Int(u64),
+    /// Finite float (NaN/inf serialize as `null`).
+    Num(f64),
+    /// String (escaped minimally: backslash, quote, control chars).
+    Str(String),
+}
+
+/// An ordered flat JSON object, written with one key per line.
+#[derive(Debug, Default)]
+pub struct BenchJson {
+    fields: Vec<(String, Scalar)>,
+}
+
+impl BenchJson {
+    /// Appends an integer field.
+    pub fn int(&mut self, key: &str, v: u64) -> &mut Self {
+        self.fields.push((key.to_string(), Scalar::Int(v)));
+        self
+    }
+
+    /// Appends a float field.
+    pub fn num(&mut self, key: &str, v: f64) -> &mut Self {
+        self.fields.push((key.to_string(), Scalar::Num(v)));
+        self
+    }
+
+    /// Appends a string field.
+    pub fn str(&mut self, key: &str, v: &str) -> &mut Self {
+        self.fields.push((key.to_string(), Scalar::Str(v.to_string())));
+        self
+    }
+
+    /// Renders the object as pretty-printed JSON (2-space indent,
+    /// trailing newline).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (key, v)) in self.fields.iter().enumerate() {
+            let comma = if i + 1 == self.fields.len() { "" } else { "," };
+            let _ = match v {
+                Scalar::Int(n) => writeln!(out, "  {}: {n}{comma}", quote(key)),
+                Scalar::Num(n) if n.is_finite() => {
+                    writeln!(out, "  {}: {n}{comma}", quote(key))
+                }
+                Scalar::Num(_) => writeln!(out, "  {}: null{comma}", quote(key)),
+                Scalar::Str(s) => writeln!(out, "  {}: {}{comma}", quote(key), quote(s)),
+            };
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the rendered object to `path`.
+    ///
+    /// # Errors
+    /// Propagates the underlying filesystem error.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+/// Minimal JSON string escaping.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Peak resident-set size of this process in bytes, read from
+/// `/proc/self/status` (`VmHWM`, reported in kB). `None` when the file
+/// or the field is unavailable (non-Linux hosts).
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_in_insertion_order_with_stable_bytes() {
+        let mut j = BenchJson::default();
+        j.str("bench", "fleet_scaling")
+            .int("sessions", 64)
+            .num("speedup", 3.5)
+            .num("nan_guard", f64::NAN);
+        let text = j.render();
+        assert_eq!(
+            text,
+            "{\n  \"bench\": \"fleet_scaling\",\n  \"sessions\": 64,\n  \
+             \"speedup\": 3.5,\n  \"nan_guard\": null\n}\n"
+        );
+        // Byte-determinism: rendering twice is identical.
+        assert_eq!(text, j.render());
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut j = BenchJson::default();
+        j.str("label", "a\"b\\c\nd");
+        assert!(j.render().contains(r#""a\"b\\c\nd""#), "{}", j.render());
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if let Some(rss) = peak_rss_bytes() {
+            assert!(rss > 0);
+        }
+    }
+}

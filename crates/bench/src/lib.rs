@@ -8,6 +8,7 @@
 //! one experiment per bench target.
 
 pub mod ablation;
+pub mod emit;
 pub mod micro;
 pub mod study;
 pub mod suite_experiments;

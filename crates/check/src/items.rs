@@ -74,6 +74,11 @@ pub struct Item {
     pub cfg_test: bool,
     /// For [`ItemKind::Impl`]: `true` when this is `impl Trait for Type`.
     pub trait_impl: bool,
+    /// For [`ItemKind::Fn`]: token-index range (half-open, into the
+    /// lexed file's token stream) of the body between its braces.
+    /// `None` for bodyless functions (trait method declarations) and
+    /// every other item kind.
+    pub body: Option<(usize, usize)>,
     /// Nested items (module / impl / trait bodies).
     pub children: Vec<Item>,
 }
@@ -297,12 +302,13 @@ impl<'a> Parser<'a> {
                     attrs,
                     cfg_test,
                     trait_impl: false,
+                    body: None,
                     children,
                 })
             }
             ItemKind::Fn => {
                 let name = self.bump().text.clone();
-                let sig_end = self.scan_to_body();
+                let (sig_end, body) = self.scan_to_body();
                 let signature = self.render_span(start, sig_end);
                 Some(Item {
                     kind,
@@ -313,13 +319,14 @@ impl<'a> Parser<'a> {
                     attrs,
                     cfg_test,
                     trait_impl: false,
+                    body,
                     children: Vec::new(),
                 })
             }
             ItemKind::Struct | ItemKind::Enum | ItemKind::Union | ItemKind::Const
             | ItemKind::Static | ItemKind::TypeAlias => {
                 let name = self.bump().text.clone();
-                let sig_end = self.scan_to_body();
+                let (sig_end, _) = self.scan_to_body();
                 let signature = self.render_span(start, sig_end);
                 Some(Item {
                     kind,
@@ -330,6 +337,7 @@ impl<'a> Parser<'a> {
                     attrs,
                     cfg_test,
                     trait_impl: false,
+                    body: None,
                     children: Vec::new(),
                 })
             }
@@ -347,6 +355,7 @@ impl<'a> Parser<'a> {
                     attrs,
                     cfg_test,
                     trait_impl: false,
+                    body: None,
                     children: Vec::new(),
                 })
             }
@@ -369,6 +378,7 @@ impl<'a> Parser<'a> {
                     attrs,
                     cfg_test,
                     trait_impl: false,
+                    body: None,
                     children,
                 })
             }
@@ -428,6 +438,7 @@ impl<'a> Parser<'a> {
                     attrs,
                     cfg_test,
                     trait_impl,
+                    body: None,
                     children,
                 })
             }
@@ -448,6 +459,7 @@ impl<'a> Parser<'a> {
                     attrs,
                     cfg_test,
                     trait_impl: false,
+                    body: None,
                     children: Vec::new(),
                 })
             }
@@ -457,27 +469,31 @@ impl<'a> Parser<'a> {
     /// Advances to the item's body or terminator and returns the token
     /// index where the *signature* ends: stops before `{` (and skips the
     /// braced body), before `= ...` initialisers (skipping to `;`), or
-    /// after a bare `;` / tuple-struct `(...);`.
-    fn scan_to_body(&mut self) -> usize {
+    /// after a bare `;` / tuple-struct `(...);`. When a braced body was
+    /// skipped, the second value is its inner token range (exclusive of
+    /// the braces themselves).
+    fn scan_to_body(&mut self) -> (usize, Option<(usize, usize)>) {
         loop {
             let t = self.peek(0).clone();
             if self.at_end() {
-                return self.pos;
+                return (self.pos, None);
             }
             if t.is_punct('{') {
                 let end = self.pos;
                 self.skip_braced();
-                return end;
+                // `skip_braced` consumed through the matching `}`:
+                // the inner tokens are (end+1 .. pos-1).
+                return (end, Some((end + 1, self.pos.saturating_sub(1))));
             }
             if t.is_punct(';') {
                 let end = self.pos;
                 self.bump();
-                return end;
+                return (end, None);
             }
             if t.is_punct('=') && !self.peek(1).is_punct('=') {
                 let end = self.pos;
                 self.until_semi();
-                return end;
+                return (end, None);
             }
             if t.is_punct('<') {
                 self.skip_generics();

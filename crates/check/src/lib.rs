@@ -13,6 +13,16 @@
 //! * [`locks`] — the lock-discipline pass: guard-scope tracking over the
 //!   blocking runtime modules, flagging blocking calls made while a lock
 //!   guard is live and inconsistent pairwise lock acquisition order;
+//! * [`graph`] — the intra-workspace call graph: per-function call
+//!   sites resolved name-resolution-lite (use maps, impl receivers,
+//!   module paths) into `caller -> callee` edges, serialized
+//!   deterministically into the committed `callgraph.txt` snapshot;
+//! * [`atomics`] — the atomics-discipline pass: publication-store
+//!   ordering, acquire/release pairing, `// SAFETY:` coverage and
+//!   `static mut` bans;
+//! * [`taint`] — the determinism taint pass: call-graph-transitive
+//!   reachability from pure-sim functions to wall-clock / OS-RNG /
+//!   thread-ID / env sources;
 //! * [`api`] — the API-surface snapshot: every `pub` item in the
 //!   workspace rendered into a sorted, byte-deterministic
 //!   `api-surface.txt`, with `odr-check api --check` failing on
@@ -24,8 +34,11 @@
 //!   reordering, conservation, bounded occupancy).
 
 pub mod api;
+pub mod atomics;
+pub mod graph;
 pub mod items;
 pub mod lex;
 pub mod lint;
 pub mod locks;
 pub mod model;
+pub mod taint;

@@ -62,7 +62,7 @@ pub const PURE_SIM_CRATES: &[&str] = &[
 /// Directories under `crates/` that are exempt from every rule family
 /// except panic hygiene (the bench harness drives wall-clock runs; the
 /// check tool itself is not simulation code).
-const REALTIME_CRATES: &[&str] = &["runtime", "bench", "check"];
+pub const REALTIME_CRATES: &[&str] = &["runtime", "bench", "check"];
 
 /// Individual files inside pure-sim crates that are deliberately
 /// wall-clock: `MonoClock` is the realtime runtime's trace timestamp
@@ -85,6 +85,18 @@ pub const ALL_RULES: &[&str] = &[
     "units/bare-literal",
     "lock/blocking-call",
     "lock/order",
+    "graph/layer-inversion",
+    "atomics/relaxed-publish",
+    "atomics/acquire-release-pair",
+    "atomics/compare-exchange-order",
+    "atomics/relaxed-fence",
+    "atomics/static-mut",
+    "atomics/unsafe-no-safety",
+    "taint/wall-clock",
+    "taint/sleep",
+    "taint/os-rng",
+    "taint/thread-id",
+    "taint/env",
 ];
 
 /// One rule breach at a specific source line.
@@ -774,22 +786,17 @@ fn manifest_dir_of(rel_path: &str) -> String {
     }
 }
 
-/// Runs every lint rule over the tree rooted at `root`.
+/// Scans every lintable file under `root` into [`FileScan`]s (the shared
+/// input of the lint passes and the call graph). Returns the scans plus
+/// any unreadable-file warnings. Deterministic: files are visited in
+/// sorted path order.
 #[must_use]
-pub fn run_lints(root: &Path, allow: &Allowlist) -> LintReport {
-    let mut report = LintReport::default();
-    for problem in &allow.problems {
-        report.warnings.push(problem.clone());
-    }
-    let mut features_cache: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
-    let mut orders = locks::OrderGraph::default();
-    let mut lock_scans: Vec<FileScan> = Vec::new();
-
+pub fn scan_tree(root: &Path) -> (Vec<FileScan>, Vec<String>) {
+    let mut scans = Vec::new();
+    let mut warnings = Vec::new();
     for path in lintable_files(root) {
         let Ok(text) = fs::read_to_string(&path) else {
-            report
-                .warnings
-                .push(format!("unreadable file: {}", path.display()));
+            warnings.push(format!("unreadable file: {}", path.display()));
             continue;
         };
         let rel = path
@@ -797,24 +804,52 @@ pub fn run_lints(root: &Path, allow: &Allowlist) -> LintReport {
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        report.files += 1;
-        let scan = scan_file(&rel, &text);
+        scans.push(scan_file(&rel, &text));
+    }
+    (scans, warnings)
+}
+
+/// Runs every lint rule over the tree rooted at `root`: the per-file
+/// token passes, the atomics-discipline pass, and — over the workspace
+/// call graph built from the same scans — the determinism taint pass,
+/// the `graph/layer-inversion` rule, and the one-level-transitive
+/// blocking-under-guard check.
+#[must_use]
+pub fn run_lints(root: &Path, allow: &Allowlist) -> LintReport {
+    let mut report = LintReport::default();
+    for problem in &allow.problems {
+        report.warnings.push(problem.clone());
+    }
+    let (scans, warnings) = scan_tree(root);
+    report.warnings.extend(warnings);
+    report.files = scans.len();
+
+    let graph = crate::graph::build_graph(root, &scans);
+
+    let mut features_cache: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut orders = locks::OrderGraph::default();
+    // (index into `scans`, per-file lock info) for in-scope files.
+    let mut lock_scans: Vec<(usize, locks::LockScan)> = Vec::new();
+
+    for (idx, scan) in scans.iter().enumerate() {
+        let rel = scan.rel_path.clone();
         let krate = crate_of(&rel);
         let is_shim = rel.starts_with("shims/");
 
         if PURE_SIM_CRATES.contains(&krate) && !REALTIME_MODULES.contains(&rel.as_str()) {
-            determinism_rules(&scan, allow, &mut report);
+            determinism_rules(scan, allow, &mut report);
         } else if !PURE_SIM_CRATES.contains(&krate) {
             debug_assert!(
                 is_shim || krate.is_empty() || REALTIME_CRATES.contains(&krate),
                 "unclassified crate {krate}: add it to PURE_SIM_CRATES or REALTIME_CRATES"
             );
         }
-        panic_rules(&scan, allow, &mut report);
+        panic_rules(scan, allow, &mut report);
         if krate == "core" || krate == "obs" {
-            doc_rules(&scan, allow, &mut report);
+            doc_rules(scan, allow, &mut report);
         }
-        units_rules(&scan, allow, &mut report);
+        units_rules(scan, allow, &mut report);
+        crate::atomics::atomics_rules(scan, allow, &mut report);
 
         let manifest_dir = manifest_dir_of(&rel);
         let declared = features_cache.entry(manifest_dir.clone()).or_insert_with(|| {
@@ -823,24 +858,104 @@ pub fn run_lints(root: &Path, allow: &Allowlist) -> LintReport {
                 .map(|t| declared_features(&t))
                 .unwrap_or_default()
         });
-        feature_rules(&scan, declared, allow, &mut report);
+        feature_rules(scan, declared, allow, &mut report);
         if krate == "obs" {
-            obs_fallback_rules(&scan, allow, &mut report);
+            obs_fallback_rules(scan, allow, &mut report);
         }
 
         if locks::in_scope(&rel) {
-            let findings = locks::analyze_file(&rel, &scan.lexed, &scan.in_test, &mut orders);
-            for (line_idx, rule, message) in findings {
-                push_violation(&mut report, allow, &scan, line_idx, rule, message);
+            let ls = locks::analyze_file(&rel, &scan.lexed, &scan.in_test, &mut orders);
+            for (line_idx, rule, message) in &ls.findings {
+                push_violation(&mut report, allow, scan, *line_idx, rule, message.clone());
             }
-            lock_scans.push(scan);
+            lock_scans.push((idx, ls));
+        }
+    }
+
+    // --- call-graph passes -------------------------------------------
+    crate::taint::taint_rules(&graph, &scans, REALTIME_MODULES, allow, &mut report);
+
+    // Layer inversion: a non-test pure-sim function calling into the
+    // realtime layer (realtime crates, or the sanctioned wall-clock
+    // module inside `obs`). Cargo's dependency graph cannot express
+    // "may depend on the crate but not this module", so the call graph
+    // enforces it.
+    for e in &graph.edges {
+        if e.in_test {
+            continue;
+        }
+        let caller_crate = crate_of(&e.rel_path);
+        if !PURE_SIM_CRATES.contains(&caller_crate)
+            || REALTIME_MODULES.contains(&e.rel_path.as_str())
+        {
+            continue;
+        }
+        let Some(callee) = graph.fns.get(&e.callee) else {
+            continue;
+        };
+        let callee_crate = crate_of(&callee.rel_path);
+        let callee_realtime = REALTIME_CRATES.contains(&callee_crate)
+            || REALTIME_MODULES.contains(&callee.rel_path.as_str());
+        if callee_realtime {
+            if let Some(scan) = scans.iter().find(|s| s.rel_path == e.rel_path) {
+                push_violation(
+                    &mut report,
+                    allow,
+                    scan,
+                    e.line - 1,
+                    "graph/layer-inversion",
+                    format!(
+                        "pure-sim code calls `{}` in the realtime layer ({})",
+                        e.callee, callee.rel_path
+                    ),
+                );
+            }
+        }
+    }
+
+    // Transitive blocking-under-guard: a call made on a guard-live line
+    // to an intra-crate function whose own body makes a direct blocking
+    // call. One level deep by construction — the callee's body is
+    // scanned directly, not recursed into.
+    for (idx, ls) in &lock_scans {
+        let scan = &scans[*idx];
+        for e in graph.edges.iter().filter(|e| e.rel_path == scan.rel_path) {
+            if e.in_test {
+                continue;
+            }
+            let Some(held) = ls.guard_lines.get(&(e.line - 1)) else {
+                continue;
+            };
+            let Some(callee) = graph.fns.get(&e.callee) else {
+                continue;
+            };
+            if callee.cfg_test || crate_of(&callee.rel_path) != crate_of(&scan.rel_path) {
+                continue;
+            }
+            let Some((lo, hi)) = callee.body else { continue };
+            let Some(callee_scan) = scans.get(callee.file_idx) else {
+                continue;
+            };
+            if let Some(desc) = locks::blocking_in_range(&callee_scan.lexed.tokens, lo, hi) {
+                push_violation(
+                    &mut report,
+                    allow,
+                    scan,
+                    e.line - 1,
+                    "lock/blocking-call",
+                    format!(
+                        "call to `{}` (which makes {desc} at {}) while {held}",
+                        e.callee, callee.rel_path
+                    ),
+                );
+            }
         }
     }
 
     // Lock-order inversions are a cross-file property; resolve them once
     // every in-scope file has fed the order graph.
     for (path, (line_idx, rule, message)) in orders.inversions() {
-        if let Some(scan) = lock_scans.iter().find(|s| s.rel_path == path) {
+        if let Some(scan) = scans.iter().find(|s| s.rel_path == path) {
             push_violation(&mut report, allow, scan, line_idx, rule, message);
         }
     }

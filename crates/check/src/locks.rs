@@ -26,12 +26,34 @@
 //!   (B, A) reports an inversion at both sites.
 //!
 //! Heuristics are deliberately name-based (no type information), tuned so
-//! the current tree is clean without suppressions; `#[cfg(test)]` regions
-//! are skipped.
+//! the current tree is clean without suppressions. `#[cfg(test)]` regions
+//! are tracked (so the order graph knows about test-only acquisition
+//! pairs) but produce no findings, and an inversion is only reported when
+//! **both** orders are witnessed by production code — a test that
+//! deliberately reverses the order (poisoning/fault-injection scenarios)
+//! does not indict the shipping ordering.
+//!
+//! Since PR 6 the pass also exports each file's guard-live line map
+//! ([`LockScan::guard_lines`]); the lint driver joins it with the
+//! workspace call graph ([`crate::graph`]) to flag calls made under a
+//! guard to intra-crate functions whose own bodies block — one level of
+//! transitivity beyond the inline detection here.
 
 use std::collections::BTreeMap;
 
 use crate::lex::{LexedFile, TokKind, Token};
+
+/// Per-file result of the pass: the inline findings plus the guard-live
+/// line map the lint driver uses for the call-graph-transitive check
+/// (a call made on a guard-live line to a function that itself blocks).
+#[derive(Debug, Default)]
+pub struct LockScan {
+    /// Blocking-under-lock findings (0-based line, rule, message).
+    pub findings: Vec<Finding>,
+    /// 0-based non-test lines on which at least one guard is live, with
+    /// a description of the earliest-held guard.
+    pub guard_lines: BTreeMap<usize, String>,
+}
 
 /// Source files subject to the lock-discipline pass: path prefixes
 /// relative to the repo root. These are exactly the modules that hold
@@ -60,37 +82,68 @@ pub type Finding = (usize, &'static str, String);
 pub struct OrderGraph {
     /// (first-lock, second-lock) → first site that acquired them nested
     /// in that order.
-    pairs: BTreeMap<(String, String), (String, usize)>,
+    pairs: BTreeMap<(String, String), Site>,
+}
+
+/// One representative nested-acquisition site.
+#[derive(Debug)]
+struct Site {
+    path: String,
+    line: usize,
+    /// `true` when at least one site for this ordered pair was outside
+    /// `#[cfg(test)]` code.
+    non_test: bool,
 }
 
 impl OrderGraph {
-    fn record(&mut self, outer: &str, inner: &str, path: &str, line: usize) {
+    fn record(&mut self, outer: &str, inner: &str, path: &str, line: usize, in_test: bool) {
         if outer == inner {
             return;
         }
-        self.pairs
+        let site = self
+            .pairs
             .entry((outer.to_string(), inner.to_string()))
-            .or_insert_with(|| (path.to_string(), line));
+            .or_insert_with(|| Site {
+                path: path.to_string(),
+                line,
+                non_test: !in_test,
+            });
+        // A production site supersedes a test-only representative: the
+        // inversion report should point at shipping code.
+        if !in_test && !site.non_test {
+            site.path = path.to_string();
+            site.line = line;
+            site.non_test = true;
+        }
     }
 
-    /// Reports every pair of locks acquired in both orders: one finding
-    /// per site, attributed to its file. 0-based line indices.
+    /// Reports every pair of locks acquired in both orders **in
+    /// production code**: one finding per site, attributed to its file,
+    /// 0-based line indices. A direction witnessed only by
+    /// `#[cfg(test)]`-gated code does not count — tests may deliberately
+    /// acquire in the reverse order (poisoning scenarios, fault
+    /// injection) without indicting the production ordering.
     #[must_use]
     pub fn inversions(&self) -> Vec<(String, Finding)> {
         let mut out = Vec::new();
-        for ((a, b), (path, line)) in &self.pairs {
-            if a < b {
-                if let Some((rpath, rline)) = self.pairs.get(&(b.clone(), a.clone())) {
+        for ((a, b), site) in &self.pairs {
+            if a < b && site.non_test {
+                if let Some(rev) = self.pairs.get(&(b.clone(), a.clone())) {
+                    if !rev.non_test {
+                        continue;
+                    }
                     let msg_fwd = format!(
-                        "lock order inversion: `{a}` then `{b}` here, but `{b}` then `{a}` at {rpath}:{}",
-                        rline + 1
+                        "lock order inversion: `{a}` then `{b}` here, but `{b}` then `{a}` at {}:{}",
+                        rev.path,
+                        rev.line + 1
                     );
                     let msg_rev = format!(
-                        "lock order inversion: `{b}` then `{a}` here, but `{a}` then `{b}` at {path}:{}",
-                        line + 1
+                        "lock order inversion: `{b}` then `{a}` here, but `{a}` then `{b}` at {}:{}",
+                        site.path,
+                        site.line + 1
                     );
-                    out.push((path.clone(), (*line, "lock/order", msg_fwd)));
-                    out.push((rpath.clone(), (*rline, "lock/order", msg_rev)));
+                    out.push((site.path.clone(), (site.line, "lock/order", msg_fwd)));
+                    out.push((rev.path.clone(), (rev.line, "lock/order", msg_rev)));
                 }
             }
         }
@@ -111,19 +164,21 @@ struct Guard {
     temp: bool,
 }
 
-/// Walks one file's tokens and returns blocking-under-lock findings,
-/// feeding nested acquisitions into `orders`. `in_test` marks 1-based
-/// lines inside `#[cfg(test)]` regions (index 0 = line 1), which are
-/// skipped.
+/// Walks one file's tokens and returns blocking-under-lock findings plus
+/// the guard-live line map, feeding nested acquisitions into `orders`.
+/// `in_test` marks 1-based lines inside `#[cfg(test)]` regions (index 0
+/// = line 1): guard tracking still runs there so the order graph sees
+/// test-only acquisition pairs (marked as such), but no findings are
+/// emitted from test code.
 #[must_use]
 pub fn analyze_file(
     rel_path: &str,
     file: &LexedFile,
     in_test: &[bool],
     orders: &mut OrderGraph,
-) -> Vec<Finding> {
+) -> LockScan {
     let toks = &file.tokens;
-    let mut findings = Vec::new();
+    let mut out = LockScan::default();
     let mut guards: Vec<Guard> = Vec::new();
     let mut depth = 0usize;
     // The active `let` binding name, if the statement began with one.
@@ -152,9 +207,13 @@ pub fn analyze_file(
             i += 1;
             continue;
         }
-        if is_test(t.line) {
-            i += 1;
-            continue;
+        let test_tok = is_test(t.line);
+        if !test_tok {
+            if let Some(g) = guards.first() {
+                out.guard_lines
+                    .entry(t.line - 1)
+                    .or_insert_with(|| describe(g));
+            }
         }
 
         // `let [mut] NAME =` / `let [mut] NAME:` — remember the binding.
@@ -205,6 +264,7 @@ pub fn analyze_file(
                     depth,
                     &pending_let,
                     lock,
+                    test_tok,
                 );
             }
             i += 3;
@@ -230,6 +290,7 @@ pub fn analyze_file(
                         depth,
                         &pending_let,
                         lock,
+                        test_tok,
                     );
                 }
             }
@@ -255,16 +316,18 @@ pub fn analyze_file(
                 .filter(|g| arg.as_ref() != Some(&g.name))
                 .collect();
             if let Some(other) = others.first() {
-                let held = describe(other);
-                let msg = if waits_on_guard {
-                    format!(
-                        "`{}(..)` releases only its own guard; {held} stays held for the whole wait",
-                        t.text
-                    )
-                } else {
-                    format!("condvar `{}(..)` while {held} is held", t.text)
-                };
-                findings.push((t.line - 1, "lock/blocking-call", msg));
+                if !test_tok {
+                    let held = describe(other);
+                    let msg = if waits_on_guard {
+                        format!(
+                            "`{}(..)` releases only its own guard; {held} stays held for the whole wait",
+                            t.text
+                        )
+                    } else {
+                        format!("condvar `{}(..)` while {held} is held", t.text)
+                    };
+                    out.findings.push((t.line - 1, "lock/blocking-call", msg));
+                }
             }
             i += 1;
             continue;
@@ -273,17 +336,19 @@ pub fn analyze_file(
         // Blocking calls that must never run under a guard.
         if let Some(desc) = blocking_call(toks, i) {
             if let Some(g) = guards.first() {
-                findings.push((
-                    t.line - 1,
-                    "lock/blocking-call",
-                    format!("{desc} while {} is held", describe(g)),
-                ));
+                if !test_tok {
+                    out.findings.push((
+                        t.line - 1,
+                        "lock/blocking-call",
+                        format!("{desc} while {} is held", describe(g)),
+                    ));
+                }
             }
         }
 
         i += 1;
     }
-    findings
+    out
 }
 
 fn describe(g: &Guard) -> String {
@@ -303,9 +368,10 @@ fn acquire(
     depth: usize,
     pending_let: &Option<String>,
     lock: String,
+    in_test: bool,
 ) {
     for g in guards.iter() {
-        orders.record(&g.lock, &lock, rel_path, line - 1);
+        orders.record(&g.lock, &lock, rel_path, line - 1, in_test);
     }
     // Re-binding an existing guard name (`g = relock(cv.wait(g))`)
     // replaces it rather than stacking a second acquisition.
@@ -327,7 +393,9 @@ fn prev_is_punct(toks: &[Token], i: usize, c: char) -> bool {
 /// Walks backwards from the `.` of a method call, collecting the
 /// `ident(.ident | ::ident)*` receiver chain as text. Returns `""` when
 /// the receiver is not a plain path (e.g. a call result: `m().lock()`).
-fn receiver_chain(toks: &[Token], dot: usize) -> String {
+/// Shared with the atomics pass, which groups sites by the same
+/// normalized receiver text.
+pub(crate) fn receiver_chain(toks: &[Token], dot: usize) -> String {
     let mut parts: Vec<&str> = Vec::new();
     let mut j = dot; // index of the `.`
     loop {
@@ -440,6 +508,16 @@ fn first_ident_in_args(toks: &[Token], open: usize) -> Option<String> {
     None
 }
 
+/// Scans a token range (a function body from the call graph) for the
+/// first direct blocking call, returning its description. Used by the
+/// lint driver's transitive check: a call on a guard-live line to a
+/// function whose own body blocks.
+#[must_use]
+pub fn blocking_in_range(toks: &[Token], lo: usize, hi: usize) -> Option<String> {
+    let hi = hi.min(toks.len());
+    (lo.min(hi)..hi).find_map(|i| blocking_call(toks, i))
+}
+
 /// Recognises a blocking call at token `i`, returning its description.
 fn blocking_call(toks: &[Token], i: usize) -> Option<String> {
     let t = &toks[i];
@@ -479,8 +557,8 @@ mod tests {
         let file = lex(src);
         let in_test = vec![false; file.lines()];
         let mut orders = OrderGraph::default();
-        let f = analyze_file("crates/runtime/src/x.rs", &file, &in_test, &mut orders);
-        (f, orders)
+        let s = analyze_file("crates/runtime/src/x.rs", &file, &in_test, &mut orders);
+        (s.findings, orders)
     }
 
     #[test]
@@ -575,12 +653,66 @@ mod tests {
     }
 
     #[test]
-    fn test_regions_are_skipped() {
+    fn test_regions_emit_no_findings() {
         let src = "fn f() { let g = m.lock(); thread::sleep(d); }";
         let file = lex(src);
         let in_test = vec![true; file.lines()];
         let mut orders = OrderGraph::default();
-        let f = analyze_file("crates/runtime/src/x.rs", &file, &in_test, &mut orders);
-        assert!(f.is_empty(), "{f:?}");
+        let s = analyze_file("crates/runtime/src/x.rs", &file, &in_test, &mut orders);
+        assert!(s.findings.is_empty(), "{:?}", s.findings);
+        assert!(s.guard_lines.is_empty(), "{:?}", s.guard_lines);
+    }
+
+    #[test]
+    fn guard_lines_cover_the_live_span_only() {
+        let src = "fn f() {\n    let g = m.lock();\n    g.touch();\n}\nfn h() {\n    free();\n}\n";
+        let file = lex(src);
+        let in_test = vec![false; file.lines()];
+        let mut orders = OrderGraph::default();
+        let s = analyze_file("crates/runtime/src/x.rs", &file, &in_test, &mut orders);
+        // Lines 2-3 (0-based 1-2) are guard-live; `h` is not.
+        assert!(s.guard_lines.contains_key(&2), "{:?}", s.guard_lines);
+        assert!(!s.guard_lines.contains_key(&5), "{:?}", s.guard_lines);
+    }
+
+    #[test]
+    fn test_only_reverse_order_does_not_indict_production() {
+        // Production acquires (a, b); only a #[cfg(test)] region takes
+        // (b, a). The inversion must NOT be reported.
+        let src = "fn one() { let a = self.a.lock(); let b = self.b.lock(); }\n\
+                   fn rev() { let b = self.b.lock(); let a = self.a.lock(); }\n";
+        let file = lex(src);
+        // Mark line 2 (the reverse order) as test-only.
+        let in_test = vec![false, true];
+        let mut orders = OrderGraph::default();
+        let _ = analyze_file("crates/runtime/src/x.rs", &file, &in_test, &mut orders);
+        assert!(orders.inversions().is_empty(), "{:?}", orders.inversions());
+    }
+
+    #[test]
+    fn production_site_supersedes_test_representative() {
+        // The same ordered pair seen first in test code, then in
+        // production: the production site must be the one reported when
+        // a genuine production inversion exists.
+        let src = "fn t() { let a = self.a.lock(); let b = self.b.lock(); }\n\
+                   fn one() { let a = self.a.lock(); let b = self.b.lock(); }\n\
+                   fn rev() { let b = self.b.lock(); let a = self.a.lock(); }\n";
+        let file = lex(src);
+        let in_test = vec![true, false, false];
+        let mut orders = OrderGraph::default();
+        let _ = analyze_file("crates/runtime/src/x.rs", &file, &in_test, &mut orders);
+        let inv = orders.inversions();
+        assert_eq!(inv.len(), 2, "{inv:?}");
+        // The (a, b) representative is the production line (0-based 1).
+        assert!(inv.iter().any(|(_, (line, _, _))| *line == 1), "{inv:?}");
+    }
+
+    #[test]
+    fn blocking_in_range_finds_direct_blocking_calls() {
+        let file = lex("fn helper() { thread::sleep(d); }\nfn pure() { a + b; }\n");
+        let desc = blocking_in_range(&file.tokens, 0, file.tokens.len());
+        assert!(desc.is_some_and(|d| d.contains("sleep")));
+        let pure_file = lex("fn pure() { a + b }\n");
+        assert!(blocking_in_range(&pure_file.tokens, 0, pure_file.tokens.len()).is_none());
     }
 }

@@ -1,6 +1,6 @@
-//! `odr-check` CLI: runs the repo lint passes (token-level rules + lock
-//! discipline), the API-surface snapshot check, and the swap-protocol
-//! model checker.
+//! `odr-check` CLI: runs the repo lint passes (token-level rules, lock
+//! discipline, atomics discipline, determinism taint), the API-surface
+//! and call-graph snapshot checks, and the swap-protocol model checker.
 //!
 //! Exit status is uniform across every subcommand and pass:
 //! `0` clean, `1` findings (lint violations, API diffs, model failures),
@@ -11,7 +11,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use odr_check::api;
-use odr_check::lint::{run_lints, Allowlist};
+use odr_check::graph;
+use odr_check::lint::{run_lints, scan_tree, Allowlist};
 use odr_check::model::{explore_dfs, explore_random, standard_suite};
 use odr_core::{OdrError, OdrResult};
 
@@ -27,6 +28,11 @@ SUBCOMMANDS:
                          exit 1 on any diff (writes api-surface.txt.new)
                          [UPDATE_GOLDEN=1 odr-check api] rewrites the
                          committed snapshot instead
+  callgraph              print the intra-workspace call graph
+  callgraph --check      compare the graph against callgraph.txt;
+                         exit 1 on any diff (writes callgraph.txt.new)
+                         [UPDATE_GOLDEN=1 odr-check callgraph] rewrites
+                         the committed snapshot instead
 
 OPTIONS:
   --lint-only            run only the source lints
@@ -50,6 +56,8 @@ struct Options {
     help: bool,
     api: bool,
     api_check: bool,
+    callgraph: bool,
+    callgraph_check: bool,
     lint: bool,
     model: bool,
     deny_warnings: bool,
@@ -68,6 +76,8 @@ impl Default for Options {
             help: false,
             api: false,
             api_check: false,
+            callgraph: false,
+            callgraph_check: false,
             lint: true,
             model: true,
             deny_warnings: false,
@@ -93,7 +103,9 @@ fn parse_args() -> OdrResult<Options> {
         };
         match arg.as_str() {
             "api" if first => opts.api = true,
+            "callgraph" if first => opts.callgraph = true,
             "--check" if opts.api => opts.api_check = true,
+            "--check" if opts.callgraph => opts.callgraph_check = true,
             "--lint-only" => opts.model = false,
             "--model-only" => opts.lint = false,
             "--deny-warnings" => opts.deny_warnings = true,
@@ -194,6 +206,49 @@ fn run_api_pass(opts: &Options) -> OdrResult<bool> {
     Ok(true)
 }
 
+/// The `callgraph` subcommand. Mirrors [`run_api_pass`]: print by
+/// default, `--check` against the committed snapshot, `UPDATE_GOLDEN=1`
+/// regenerates it.
+fn run_callgraph_pass(opts: &Options) -> OdrResult<bool> {
+    let root = resolve_root(opts)?;
+    let (scans, _) = scan_tree(&root);
+    let g = graph::build_graph(&root, &scans);
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        let text = graph::update_snapshot(&root, &g)?;
+        println!(
+            "callgraph: wrote {} ({} edges, {} unresolved call sites)",
+            graph::SNAPSHOT_FILE,
+            text.lines().count(),
+            g.unresolved
+        );
+        return Ok(true);
+    }
+    if opts.callgraph_check {
+        let diff = graph::check_against_snapshot(&root, &g)?;
+        if diff.is_empty() {
+            println!("callgraph: graph matches {}", graph::SNAPSHOT_FILE);
+            return Ok(true);
+        }
+        for line in &diff.added {
+            println!("error: callgraph: not in snapshot: {line}");
+        }
+        for line in &diff.removed {
+            println!("error: callgraph: missing from tree: {line}");
+        }
+        println!(
+            "callgraph: {} added, {} removed vs {}; fresh graph written to {}.\n\
+             If the change is intentional, regenerate with: UPDATE_GOLDEN=1 odr-check callgraph",
+            diff.added.len(),
+            diff.removed.len(),
+            graph::SNAPSHOT_FILE,
+            graph::SCRATCH_FILE
+        );
+        return Ok(false);
+    }
+    print!("{}", g.render());
+    Ok(true)
+}
+
 fn run_lint_pass(opts: &Options) -> OdrResult<bool> {
     let root = resolve_root(opts)?;
     let allow_path = opts
@@ -280,6 +335,9 @@ fn run(opts: &Options) -> OdrResult<bool> {
     }
     if opts.api {
         return run_api_pass(opts);
+    }
+    if opts.callgraph {
+        return run_callgraph_pass(opts);
     }
     let mut ok = true;
     if opts.lint {

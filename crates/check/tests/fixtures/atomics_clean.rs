@@ -1,0 +1,63 @@
+//! Clean atomics corpus mirroring the idioms the real tree uses
+//! (`odr_core::sync_queue`, `odr_fleet::engine`, `odr_runtime`):
+//! Relaxed counters with no Release writer, literal flag stores,
+//! properly paired Release/Acquire publication, a SeqCst CAS with a
+//! load failure ordering, and `// SAFETY:`-documented unsafe. The
+//! atomics pass must report nothing here.
+
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+pub struct Counters {
+    produced: AtomicU64,
+    next: AtomicUsize,
+    stop: AtomicBool,
+    seq: AtomicU64,
+}
+
+impl Counters {
+    /// Work-claiming counter, exactly the `sync_queue` producer idiom:
+    /// Relaxed RMW is fine, the value carries no payload.
+    pub fn claim(&self) -> usize {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Statistics counter read: Relaxed load with no Release writer in
+    /// the file is a plain counter, not a discarded publication.
+    pub fn produced(&self) -> u64 {
+        self.produced.load(Ordering::Relaxed)
+    }
+
+    pub fn bump(&self) {
+        self.produced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Literal flag store: a pure signal, Relaxed is legal.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Proper publication pair: Release store, Acquire load.
+    pub fn publish(&self, v: u64) {
+        self.seq.store(v, Ordering::Release);
+    }
+
+    pub fn observe(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// CAS with a valid (load) failure ordering.
+    pub fn try_claim(&self, old: usize, new: usize) -> bool {
+        self.next
+            .compare_exchange(old, new, Ordering::SeqCst, Ordering::Acquire)
+            .is_ok()
+    }
+
+    pub fn full_barrier(&self) {
+        fence(Ordering::SeqCst);
+    }
+}
+
+pub fn read_first(slice: &[u64]) -> u64 {
+    // SAFETY: caller guarantees `slice` is non-empty.
+    unsafe { *slice.get_unchecked(0) }
+}

@@ -1,0 +1,24 @@
+//! Callee crate for the call-graph fixture tree: a free function, an
+//! impl with a constructor and methods, and an intra-crate call.
+
+pub struct Gauge {
+    value: u64,
+}
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge { value: 0 }
+    }
+
+    pub fn read(&self) -> u64 {
+        self.value
+    }
+
+    pub fn reset(&mut self) {
+        self.value = zero();
+    }
+}
+
+pub fn zero() -> u64 {
+    0
+}

@@ -1,0 +1,23 @@
+//! Caller crate for the call-graph fixture tree: exercises use-map
+//! resolution, constructor-pinned and parameter-pinned receivers, and
+//! a test-only edge (present in the graph, excluded from the render).
+
+use alpha::{zero, Gauge};
+
+pub fn drive() -> u64 {
+    let mut g = Gauge::new();
+    g.reset();
+    g.read() + zero()
+}
+
+pub fn sample(g: &Gauge) -> u64 {
+    g.read()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn drives() {
+        let _ = super::drive();
+    }
+}

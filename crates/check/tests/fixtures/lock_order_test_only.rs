@@ -1,0 +1,42 @@
+//! Regression fixture for the cfg(test) lock-order false-positive
+//! surface: production code always acquires `self.queue` before
+//! `self.stats`; a `#[cfg(test)]` fault-injection helper deliberately
+//! acquires them in reverse. The order graph must record the test-only
+//! pair (so it is visible to diagnostics) but report **no** inversion —
+//! tests may exercise orders production never uses.
+
+struct Shared {
+    queue: std::sync::Mutex<Vec<u64>>,
+    stats: std::sync::Mutex<(u64, u64)>,
+}
+
+impl Shared {
+    fn push_frame(&self, id: u64) {
+        let mut q = self.queue.lock().unwrap();
+        let mut s = self.stats.lock().unwrap();
+        q.push(id);
+        s.0 += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Shared;
+
+    impl Shared {
+        fn poison_reverse(&self) -> u64 {
+            let s = self.stats.lock().unwrap();
+            let q = self.queue.lock().unwrap();
+            s.0 + q.len() as u64
+        }
+    }
+
+    #[test]
+    fn reverse_order_under_fault_injection() {
+        let shared = Shared {
+            queue: std::sync::Mutex::new(Vec::new()),
+            stats: std::sync::Mutex::new((0, 0)),
+        };
+        assert_eq!(shared.poison_reverse(), 0);
+    }
+}

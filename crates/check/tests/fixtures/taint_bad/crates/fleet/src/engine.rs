@@ -1,0 +1,24 @@
+//! Pure-sim crate reaching wall-clock state through another crate's
+//! helper. The direct call (`stamp_ns`) and the transitive one
+//! (`elapsed_ms`, which never names `Instant` itself) must both be
+//! flagged — the second is the case a token-level pass cannot see.
+
+use odr_metrics::timing::{elapsed_ms, stamp_ns};
+
+pub fn tick() -> u64 {
+    stamp_ns() // BAD: taint/wall-clock
+}
+
+pub fn frame_budget(start: u64) -> u64 {
+    elapsed_ms(start) // BAD: taint/wall-clock
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_edges_are_exempt() {
+        let _ = super::tick();
+    }
+}

@@ -1,0 +1,14 @@
+//! A "helper crate" wall-clock leak: `stamp_ns` reads `Instant::now`
+//! directly; `elapsed_ms` is only *transitively* tainted through it.
+//! Neither marker line is a finding here — the findings land on the
+//! pure-sim call edges in `fleet/src/engine.rs` and on the intra-crate
+//! edge below.
+
+pub fn stamp_ns() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn elapsed_ms(start: u64) -> u64 {
+    (stamp_ns() - start) / 1_000_000 // BAD: taint/wall-clock
+}

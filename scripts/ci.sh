@@ -26,19 +26,32 @@ echo "== odr-check: API-surface snapshot =="
 # UPDATE_GOLDEN=1 cargo run -p odr-check -- api.
 cargo run --release -q -p odr-check -- api --check
 
+echo "== odr-check: call-graph snapshot =="
+# The intra-workspace call graph (the base layer for the taint and
+# transitive-lock passes) must match the committed callgraph.txt;
+# regenerate deliberately with UPDATE_GOLDEN=1 cargo run -p odr-check
+# -- callgraph.
+cargo run --release -q -p odr-check -- callgraph --check
+
 echo "== odr-check: byte-determinism differential =="
 # The analyzer itself must be deterministic: two runs of the lint pass
-# and two renderings of the API surface must be byte-identical.
+# (which now spans the atomics, taint, and graph rule families) and two
+# renderings of the API surface and the call graph must be
+# byte-identical.
 lint_a="$(mktemp)"; lint_b="$(mktemp)"
 api_a="$(mktemp)"; api_b="$(mktemp)"
+graph_a="$(mktemp)"; graph_b="$(mktemp)"
 cargo run --release -q -p odr-check -- --lint-only >"$lint_a"
 cargo run --release -q -p odr-check -- --lint-only >"$lint_b"
 cargo run --release -q -p odr-check -- api >"$api_a"
 cargo run --release -q -p odr-check -- api >"$api_b"
+cargo run --release -q -p odr-check -- callgraph >"$graph_a"
+cargo run --release -q -p odr-check -- callgraph >"$graph_b"
 cmp "$lint_a" "$lint_b" || { echo "lint pass is nondeterministic" >&2; exit 1; }
 cmp "$api_a" "$api_b" || { echo "api surface is nondeterministic" >&2; exit 1; }
-rm -f "$lint_a" "$lint_b" "$api_a" "$api_b"
-echo "lint + api output byte-identical across runs"
+cmp "$graph_a" "$graph_b" || { echo "call graph is nondeterministic" >&2; exit 1; }
+rm -f "$lint_a" "$lint_b" "$api_a" "$api_b" "$graph_a" "$graph_b"
+echo "lint + api + callgraph output byte-identical across runs"
 
 echo "== observability feature matrix =="
 # The obs capture path is a default-on feature; both halves of the
