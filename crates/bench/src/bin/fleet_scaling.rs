@@ -1,11 +1,19 @@
 //! Fleet parallel-scaling harness: times the same 64-session fleet on
-//! 1 worker thread and on 8, reports the wall-clock speedup, and
+//! 1 worker thread and on as many workers as the host can genuinely run
+//! (`min(8, available cores)`), reports the wall-clock speedup, and
 //! re-checks that both runs produced byte-identical reports.
 //!
-//! On a host with ≥ 8 cores the speedup is loosely asserted (≥ 2×; the
-//! sessions are embarrassingly parallel, so anything lower means the
-//! engine is serialising somewhere). On smaller hosts the numbers are
-//! reported only — a container pinned to one core cannot speed up.
+//! Thread count is clamped to the host's available parallelism: timing
+//! 8 workers on a 1-core container measures context-switch overhead,
+//! not scaling, and used to report a dishonest 0.97x "speedup". Each
+//! configuration is timed best-of-N after a warmup run, so one noisy
+//! scheduler hiccup cannot sink the emitted number.
+//!
+//! On a host with >= 4 cores the speedup is asserted > 1x (the sessions
+//! are embarrassingly parallel; anything else means the engine is
+//! serialising somewhere), and >= 2x on >= 8 cores. On smaller hosts
+//! the numbers are reported only — a container pinned to one core
+//! cannot speed up, and the parallel run degenerates to the serial one.
 //!
 //! Also writes `BENCH_fleet.json` next to the working directory:
 //! wall-clock throughput (sessions/s, frames/s) per thread count plus a
@@ -21,38 +29,56 @@ use cloud3d_odr::prelude::*;
 use odr_bench::emit::{peak_rss_bytes, BenchJson};
 
 const SESSIONS: u32 = 64;
-const PARALLEL_THREADS: usize = 8;
+const MAX_PARALLEL_THREADS: usize = 8;
+/// Timing repetitions per thread count (best-of, after one warmup).
+const REPS: u32 = 3;
 
-fn timed_run(threads: usize) -> (FleetReport, f64) {
-    let cfg = FleetConfig::builder(
+fn fleet_cfg(threads: usize) -> FleetConfig {
+    FleetConfig::builder(
         Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud),
         RegulationSpec::odr(FpsGoal::Target(60.0)),
     )
     .base(|b| b.duration(Duration::from_secs(5)).seed(42))
     .sessions(SESSIONS)
     .threads(threads)
-    .build();
+    .build()
+}
+
+fn timed_run(threads: usize) -> (FleetReport, f64) {
+    let cfg = fleet_cfg(threads);
     let start = Instant::now();
     let report = run_fleet(&cfg);
-    (report, start.elapsed().as_secs_f64())
+    let mut best = start.elapsed().as_secs_f64();
+    for _ in 1..REPS {
+        let start = Instant::now();
+        let _ = run_fleet(&cfg);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (report, best)
 }
 
 fn main() {
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let parallel_threads = MAX_PARALLEL_THREADS.min(cores).max(1);
+
+    // Warmup: touch every code path once so first-run effects (page
+    // faults, lazy allocation) land outside the timed region.
+    let _ = run_fleet(&fleet_cfg(parallel_threads));
+
     let (serial, serial_s) = timed_run(1);
-    let (parallel, parallel_s) = timed_run(PARALLEL_THREADS);
+    let (parallel, parallel_s) = timed_run(parallel_threads);
     let speedup = serial_s / parallel_s.max(1e-9);
 
     println!(
         "fleet_scaling: {SESSIONS} sessions | {serial_s:.3} s on 1 thread, \
-         {parallel_s:.3} s on {PARALLEL_THREADS} threads | speedup {speedup:.2}x \
-         ({cores} core(s) available)"
+         {parallel_s:.3} s on {parallel_threads} thread(s) | speedup {speedup:.2}x \
+         ({cores} core(s) available, best of {REPS})"
     );
 
     assert_eq!(
         serial.to_text(),
         parallel.to_text(),
-        "fleet report differs between 1 and {PARALLEL_THREADS} threads"
+        "fleet report differs between 1 and {parallel_threads} threads"
     );
     println!("fleet_scaling: reports byte-identical across thread counts");
 
@@ -63,7 +89,7 @@ fn main() {
         .int("cores", cores as u64)
         .num("serial_wall_s", serial_s)
         .num("parallel_wall_s", parallel_s)
-        .int("parallel_threads", PARALLEL_THREADS as u64)
+        .int("parallel_threads", parallel_threads as u64)
         .num("speedup", speedup)
         .num("serial_sessions_per_sec", f64::from(SESSIONS) / serial_s.max(1e-9))
         .num(
@@ -92,7 +118,7 @@ fn main() {
         Err(e) => eprintln!("fleet_scaling: could not write {}: {e}", path.display()),
     }
 
-    if cores >= PARALLEL_THREADS {
+    if cores >= 8 {
         // Loose bound: perfectly parallel work should scale near-linearly,
         // but CI machines share cores, so only reject outright serialisation.
         assert!(
@@ -100,10 +126,16 @@ fn main() {
             "expected >= 2x speedup on {cores} cores, measured {speedup:.2}x"
         );
         println!("fleet_scaling: speedup within expectations");
+    } else if cores >= 4 {
+        assert!(
+            speedup > 1.0,
+            "expected > 1x speedup on {cores} cores with {parallel_threads} workers, \
+             measured {speedup:.2}x"
+        );
+        println!("fleet_scaling: speedup within expectations");
     } else {
         println!(
-            "fleet_scaling: {cores} core(s) < {PARALLEL_THREADS}; reporting only, \
-             no speedup assertion"
+            "fleet_scaling: {cores} core(s) < 4; reporting only, no speedup assertion"
         );
     }
 }

@@ -1,0 +1,142 @@
+//! Swap hand-off latency harness: times single-frame producer-to-
+//! consumer hand-offs through `SyncQueue` with the locked
+//! (mutex/condvar) engine and the lock-free atomic slot-exchange
+//! engine, in both full-buffer policies, and emits `BENCH_swap.json`.
+//!
+//! Each frame carries its publish timestamp; the consumer thread
+//! records the publish-to-pop delay per frame. Reported per
+//! engine/policy combination: p50/p99 hand-off latency (nanoseconds),
+//! end-to-end throughput (frames/s) and the drop counter (overwrite
+//! mode sheds load by design; the counter keeps the comparison
+//! honest — a queue that drops everything has great "latency").
+//!
+//! Built without the `lockfree-swap` feature the harness degrades to
+//! the locked engine only.
+//!
+//! ```text
+//! cargo run --release -p odr-bench --bin swap_latency
+//! ```
+
+use std::time::Instant;
+
+use odr_bench::emit::{peak_rss_bytes, BenchJson};
+use odr_core::queue::FullPolicy;
+use odr_core::SyncQueue;
+
+/// Frames per timed run. Large enough to swamp thread start-up, small
+/// enough that a 1-core CI container finishes in well under a second.
+const FRAMES: u64 = 50_000;
+/// Queue capacity: the paper's triple-buffer shape.
+const CAPACITY: usize = 3;
+
+struct RunStats {
+    p50_ns: u64,
+    p99_ns: u64,
+    frames_per_sec: f64,
+    received: u64,
+    drops: u64,
+}
+
+/// Percentile over a sorted sample (nearest-rank).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs one producer and one consumer thread over `queue`, returning
+/// hand-off latency and throughput statistics.
+fn timed_run(queue: &SyncQueue<Instant>) -> RunStats {
+    let start = Instant::now();
+    let latencies = std::thread::scope(|scope| {
+        let consumer = scope.spawn(|| {
+            let mut lat = Vec::with_capacity(FRAMES as usize);
+            while let Some(stamp) = queue.pop_blocking() {
+                lat.push(stamp.elapsed().as_nanos() as u64);
+            }
+            lat
+        });
+        for _ in 0..FRAMES {
+            if !queue.publish_blocking(Instant::now()) {
+                break;
+            }
+        }
+        queue.close();
+        match consumer.join() {
+            Ok(lat) => lat,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    RunStats {
+        p50_ns: percentile(&sorted, 50.0),
+        p99_ns: percentile(&sorted, 99.0),
+        frames_per_sec: latencies.len() as f64 / elapsed.max(1e-9),
+        received: latencies.len() as u64,
+        drops: queue.drops(),
+    }
+}
+
+fn emit(json: &mut BenchJson, label: &str, stats: &RunStats) {
+    json.int(&format!("{label}_p50_ns"), stats.p50_ns)
+        .int(&format!("{label}_p99_ns"), stats.p99_ns)
+        .num(&format!("{label}_frames_per_sec"), stats.frames_per_sec)
+        .int(&format!("{label}_received"), stats.received)
+        .int(&format!("{label}_drops"), stats.drops);
+    println!(
+        "swap_latency: {label:<18} p50 {:>8} ns | p99 {:>8} ns | {:>12.0} frames/s | \
+         {} received, {} dropped",
+        stats.p50_ns, stats.p99_ns, stats.frames_per_sec, stats.received, stats.drops
+    );
+}
+
+fn main() {
+    let mut json = BenchJson::default();
+    json.str("bench", "swap_latency")
+        .int("frames", FRAMES)
+        .int("capacity", CAPACITY as u64)
+        .int(
+            "cores",
+            std::thread::available_parallelism().map_or(1, usize::from) as u64,
+        );
+
+    for policy in [FullPolicy::Block, FullPolicy::Overwrite] {
+        let policy_tag = match policy {
+            FullPolicy::Block => "block",
+            FullPolicy::Overwrite => "overwrite",
+        };
+        // Warmup run outside the timed region.
+        let _ = timed_run(&SyncQueue::new_locked(CAPACITY, policy));
+        let locked = timed_run(&SyncQueue::new_locked(CAPACITY, policy));
+        emit(&mut json, &format!("locked_{policy_tag}"), &locked);
+
+        #[cfg(feature = "lockfree-swap")]
+        {
+            let _ = timed_run(&SyncQueue::new_lockfree(CAPACITY, policy));
+            let lockfree = timed_run(&SyncQueue::new_lockfree(CAPACITY, policy));
+            emit(&mut json, &format!("lockfree_{policy_tag}"), &lockfree);
+        }
+    }
+
+    #[cfg(not(feature = "lockfree-swap"))]
+    println!("swap_latency: lockfree-swap feature disabled; locked engine only");
+
+    match peak_rss_bytes() {
+        Some(rss) => {
+            json.int("peak_rss_bytes", rss);
+        }
+        None => {
+            json.num("peak_rss_bytes", f64::NAN);
+        }
+    }
+    let path = std::path::Path::new("BENCH_swap.json");
+    match json.write(path) {
+        Ok(()) => println!("swap_latency: wrote {}", path.display()),
+        Err(e) => eprintln!("swap_latency: could not write {}: {e}", path.display()),
+    }
+}

@@ -31,8 +31,15 @@
 //!   bounded thread interleavings of the real
 //!   [`odr_core::SwapState`] swap protocol and asserts the paper's
 //!   multi-buffer semantics (no deadlock, no lost wakeup, no
-//!   reordering, conservation, bounded occupancy).
+//!   reordering, conservation, bounded occupancy);
+//! * [`amodel`] — the atomics-aware sibling of [`model`]: a virtual
+//!   memory of per-location message histories with acquire/release view
+//!   propagation, exhaustively exploring the lock-free
+//!   [`odr_core::atomic_swap`] protocol so under-ordered publications
+//!   (e.g. a `Relaxed` seq store) surface as torn pops with replayable
+//!   traces.
 
+pub mod amodel;
 pub mod api;
 pub mod atomics;
 pub mod graph;

@@ -61,6 +61,7 @@ pub struct LockScan {
 /// locks at all.
 pub const LOCK_SCOPE: &[&str] = &[
     "crates/runtime/src/",
+    "crates/core/src/atomic_swap.rs",
     "crates/core/src/sync_queue.rs",
     "crates/obs/src/recorder.rs",
 ];

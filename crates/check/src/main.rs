@@ -10,6 +10,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use odr_check::amodel;
 use odr_check::api;
 use odr_check::graph;
 use odr_check::lint::{run_lints, scan_tree, Allowlist};
@@ -311,6 +312,38 @@ fn run_model_pass(opts: &Options) -> bool {
             }
         }
     }
+    for scenario in amodel::atomic_suite() {
+        let dfs = amodel::explore_dfs(&scenario, opts.max_dfs);
+        total += dfs.executions;
+        if opts.verbose {
+            println!(
+                "model: {:<28} dfs {:>8} interleavings, depth {:>3}, {}",
+                scenario.name,
+                dfs.executions,
+                dfs.max_depth,
+                if dfs.complete { "exhaustive" } else { "budget-capped" }
+            );
+        }
+        if let Some(f) = &dfs.failure {
+            ok = false;
+            println!(
+                "error: model: {}: {}\n  replay trace: {:?}",
+                scenario.name, f.message, f.trace
+            );
+            continue;
+        }
+        if opts.random > 0 {
+            let rnd = amodel::explore_random(&scenario, opts.random, opts.seed);
+            total += rnd.executions;
+            if let Some(f) = &rnd.failure {
+                ok = false;
+                println!(
+                    "error: model: {} (random, seed {}): {}\n  replay trace: {:?}",
+                    scenario.name, opts.seed, f.message, f.trace
+                );
+            }
+        }
+    }
     if total < opts.min_interleavings {
         ok = false;
         println!(
@@ -320,7 +353,7 @@ fn run_model_pass(opts: &Options) -> bool {
     }
     println!(
         "model: {} scenarios, {total} interleavings, seed {}: {}",
-        standard_suite().len(),
+        standard_suite().len() + amodel::atomic_suite().len(),
         opts.seed,
         if ok { "all invariants hold" } else { "FAILURES" }
     );

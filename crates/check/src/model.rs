@@ -141,22 +141,39 @@ struct Thread {
     done: bool,
 }
 
-/// How the next decision is drawn.
-enum Chooser<'a> {
+/// How the next scheduling/nondeterminism decision is drawn. Shared
+/// with the atomics-aware model in [`crate::amodel`], so both explorers
+/// use identical DFS backtracking, seeded-random draws, and trace
+/// replay.
+pub enum Chooser<'a> {
     /// Follow/extend the DFS schedule prefix.
     Dfs {
+        /// The decision prefix being explored (mutated by backtracking).
         schedule: &'a mut Vec<u32>,
+        /// Option count observed at each decision point.
         options: &'a mut Vec<u32>,
+        /// Next decision index.
         pos: usize,
     },
     /// Seeded pseudo-random draws, recording the trace.
-    Random { state: u64, trace: &'a mut Vec<u32> },
-    /// Replay a fixed trace exactly (panics politely past the end).
-    Replay { trace: &'a [u32], pos: usize },
+    Random {
+        /// splitmix64 state.
+        state: u64,
+        /// Decisions drawn so far (the replayable trace).
+        trace: &'a mut Vec<u32>,
+    },
+    /// Replay a fixed trace exactly (clamps politely past the end).
+    Replay {
+        /// The recorded decision trace.
+        trace: &'a [u32],
+        /// Next decision index.
+        pos: usize,
+    },
 }
 
 impl Chooser<'_> {
-    fn choose(&mut self, n: u32) -> u32 {
+    /// Draws the next decision in `0..n`.
+    pub fn choose(&mut self, n: u32) -> u32 {
         debug_assert!(n > 0);
         match self {
             Chooser::Dfs {

@@ -30,6 +30,9 @@
 //! simulator (`odr-pipeline`) and the real-thread runtime (`odr-runtime`,
 //! via [`SyncQueue`]).
 
+/// The lock-free multi-buffer swap path: generation-counted slot
+/// exchange, step machines shared with the `odr-check` atomics model.
+pub mod atomic_swap;
 /// The unified [`error::OdrError`] every fallible crate boundary returns.
 pub mod error;
 /// Interval-based frame pacers: the paper's fixed-interval baseline and
@@ -54,6 +57,7 @@ pub mod swap;
 /// The blocking mutex/condvar driver around [`swap::SwapState`].
 pub mod sync_queue;
 
+pub use atomic_swap::AtomicSwap;
 pub use error::{OdrError, OdrResult};
 pub use pacer::{AdaptiveIntervalPacer, IntervalPacer};
 pub use priority::PriorityGate;

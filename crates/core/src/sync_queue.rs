@@ -1,22 +1,37 @@
 //! Thread-safe multi-buffer for the real-time runtime.
 //!
-//! [`SyncQueue`] wraps the pure [`crate::swap::SwapState`] protocol engine
-//! in a `std::sync` mutex/condvar pair so real producer and consumer
-//! threads get exactly the paper's swap semantics: the producer blocks
-//! while the buffer is full (ODR mode) or replaces the newest pending
-//! frame (unregulated mode), the consumer blocks while it is empty, and a
-//! priority publish flushes obsolete frames and jumps the queue.
+//! [`SyncQueue`] gives real producer and consumer threads exactly the
+//! paper's swap semantics: the producer blocks while the buffer is full
+//! (ODR mode) or replaces the newest pending frame (unregulated mode),
+//! the consumer blocks while it is empty, and a priority publish
+//! flushes obsolete frames and jumps the queue. Two engines implement
+//! that contract:
 //!
-//! Every transition decision lives in [`crate::swap`] — this file only
-//! turns `MustWait` outcomes into condvar waits and `Accepted`/`Frame`
-//! outcomes into notifications. The `odr-check` model checker explores
-//! the same transitions under a virtual scheduler, so the protocol
-//! verified there is the protocol running here.
+//! * **Locked** — the pure [`crate::swap::SwapState`] protocol under a
+//!   `std::sync` mutex/condvar pair; every transition decision lives in
+//!   [`crate::swap`], this file only turns `MustWait` outcomes into
+//!   condvar waits and `Accepted`/`Frame` outcomes into notifications.
+//! * **Lockfree** — the [`crate::atomic_swap::AtomicSwap`] slot-exchange
+//!   queue (feature `lockfree-swap`, default on): overwrite mode runs
+//!   fully lock-free; blocking mode parks on an eventcount gate only on
+//!   the `MustWait` edge.
+//!
+//! The default constructors route overwrite-mode queues through the
+//! lock-free engine when the feature is on; blocking-mode queues keep
+//! the locked engine (its condvar semantics are the ones the paper's
+//! convergence argument was verified against; the lock-free blocking
+//! path is available via [`SyncQueue::new_lockfree`]). Both engines are
+//! explored by the `odr-check` model checkers — the mutex/condvar
+//! protocol by the virtual-sync model, the atomic protocol by the
+//! atomics-aware model — so the protocol verified there is the protocol
+//! running here.
 
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use odr_obs::{names, Event, MonoClock, Recorder};
 
+#[cfg(feature = "lockfree-swap")]
+use crate::atomic_swap::AtomicSwap;
 use crate::error::{OdrError, OdrResult};
 use crate::queue::FullPolicy;
 use crate::swap::{SwapState, TryPop, TryPublish};
@@ -41,6 +56,21 @@ impl QueueObs {
     fn now_ns(&self) -> u64 {
         self.clock.now_ns()
     }
+}
+
+/// The synchronisation engine behind a [`SyncQueue`].
+enum Engine<T> {
+    /// Mutex/condvar around the pure swap protocol.
+    Locked {
+        state: Mutex<SwapState<T>>,
+        /// Signalled when a frame is popped (space available).
+        space: Condvar,
+        /// Signalled when a frame is published (data available).
+        data: Condvar,
+    },
+    /// Lock-free slot exchange (gates only on the `MustWait` edges).
+    #[cfg(feature = "lockfree-swap")]
+    Lockfree(AtomicSwap<T>),
 }
 
 /// A bounded, closable, multi-buffer channel between two pipeline threads.
@@ -69,11 +99,7 @@ impl QueueObs {
 /// assert_eq!(got, (0..100).collect::<Vec<_>>());
 /// ```
 pub struct SyncQueue<T> {
-    state: Mutex<SwapState<T>>,
-    /// Signalled when a frame is popped (space available).
-    space: Condvar,
-    /// Signalled when a frame is published (data available).
-    data: Condvar,
+    engine: Engine<T>,
     /// Optional observability sink (see [`SyncQueue::with_obs`]).
     obs: Option<QueueObs>,
 }
@@ -89,12 +115,68 @@ fn relock<'a, T>(
 }
 
 impl<T> SyncQueue<T> {
-    fn with_policy(capacity: usize, policy: FullPolicy) -> Self {
-        SyncQueue {
+    fn locked_engine(capacity: usize, policy: FullPolicy) -> Engine<T> {
+        Engine::Locked {
             state: Mutex::new(SwapState::new(capacity, policy)),
             space: Condvar::new(),
             data: Condvar::new(),
+        }
+    }
+
+    fn with_policy(capacity: usize, policy: FullPolicy) -> Self {
+        // Overwrite mode is the pipeline's hot, drop-tolerant path; it
+        // goes lock-free when the feature is on. Blocking mode keeps
+        // the condvar engine by default.
+        #[cfg(feature = "lockfree-swap")]
+        if policy == FullPolicy::Overwrite {
+            return SyncQueue {
+                engine: Engine::Lockfree(AtomicSwap::new(capacity, policy)),
+                obs: None,
+            };
+        }
+        SyncQueue {
+            engine: Self::locked_engine(capacity, policy),
             obs: None,
+        }
+    }
+
+    /// Creates a queue on the mutex/condvar engine regardless of policy
+    /// or features — the reference engine for differential tests and
+    /// the locked-vs-lock-free benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new_locked(capacity: usize, policy: FullPolicy) -> Self {
+        SyncQueue {
+            engine: Self::locked_engine(capacity, policy),
+            obs: None,
+        }
+    }
+
+    /// Creates a queue on the lock-free engine regardless of policy —
+    /// blocking mode parks on the eventcount gate instead of a condvar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[cfg(feature = "lockfree-swap")]
+    #[must_use]
+    pub fn new_lockfree(capacity: usize, policy: FullPolicy) -> Self {
+        SyncQueue {
+            engine: Engine::Lockfree(AtomicSwap::new(capacity, policy)),
+            obs: None,
+        }
+    }
+
+    /// Returns `true` if this queue runs on the lock-free engine.
+    #[must_use]
+    pub fn uses_lockfree(&self) -> bool {
+        match &self.engine {
+            Engine::Locked { .. } => false,
+            #[cfg(feature = "lockfree-swap")]
+            Engine::Lockfree(_) => true,
         }
     }
 
@@ -159,6 +241,25 @@ impl<T> SyncQueue<T> {
         Ok(Self::with_policy(capacity, FullPolicy::Overwrite))
     }
 
+    /// Records an overwrite-drop instant when a publish displaced frames.
+    fn record_drop(&self, dropped: u64) {
+        if dropped > 0 {
+            if let Some(obs) = &self.obs {
+                obs.record(
+                    Event::instant(obs.now_ns(), obs.track, names::SWAP_DROP)
+                        .with_value(dropped as f64),
+                );
+            }
+        }
+    }
+
+    /// Opens a `wait_*` span.
+    fn begin_wait(&self, name: &'static str) {
+        if let Some(obs) = &self.obs {
+            obs.record(Event::begin(obs.now_ns(), obs.track, name));
+        }
+    }
+
     /// Closes a `wait_*` span if one was opened.
     fn end_wait(&self, waited: bool, name: &'static str) {
         if waited {
@@ -171,40 +272,73 @@ impl<T> SyncQueue<T> {
     /// Publishes a frame, blocking while the buffer is full (in blocking
     /// mode). Returns `false` if the queue was closed (frame discarded).
     pub fn publish_blocking(&self, frame: T) -> bool {
-        let mut guard = relock(self.state.lock());
-        let mut frame = frame;
-        let drops_before = guard.drops();
-        let mut waited = false;
-        loop {
-            match guard.try_publish(frame) {
-                TryPublish::Accepted => {
-                    self.data.notify_one();
-                    self.end_wait(waited, names::WAIT_SPACE);
-                    if let Some(obs) = &self.obs {
-                        let dropped = guard.drops() - drops_before;
-                        if dropped > 0 {
-                            obs.record(
-                                Event::instant(obs.now_ns(), obs.track, names::SWAP_DROP)
-                                    .with_value(dropped as f64),
-                            );
+        match &self.engine {
+            Engine::Locked { state, space, data } => {
+                let mut guard = relock(state.lock());
+                let mut frame = frame;
+                let drops_before = guard.drops();
+                let mut waited = false;
+                loop {
+                    match guard.try_publish(frame) {
+                        TryPublish::Accepted => {
+                            data.notify_one();
+                            self.end_wait(waited, names::WAIT_SPACE);
+                            self.record_drop(guard.drops() - drops_before);
+                            return true;
+                        }
+                        TryPublish::Closed => {
+                            self.end_wait(waited, names::WAIT_SPACE);
+                            return false;
+                        }
+                        TryPublish::MustWait(returned) => {
+                            frame = returned;
+                            if !waited {
+                                waited = true;
+                                self.begin_wait(names::WAIT_SPACE);
+                            }
+                            guard = relock(space.wait(guard));
                         }
                     }
-                    return true;
                 }
-                TryPublish::Closed => {
-                    self.end_wait(waited, names::WAIT_SPACE);
-                    return false;
+            }
+            #[cfg(feature = "lockfree-swap")]
+            Engine::Lockfree(q) => {
+                let published =
+                    q.publish_blocking_with(frame, || self.begin_wait(names::WAIT_SPACE));
+                self.end_wait(published.waited, names::WAIT_SPACE);
+                if published.accepted {
+                    self.record_drop(published.dropped);
                 }
-                TryPublish::MustWait(returned) => {
-                    frame = returned;
-                    if !waited {
-                        waited = true;
-                        if let Some(obs) = &self.obs {
-                            obs.record(Event::begin(obs.now_ns(), obs.track, names::WAIT_SPACE));
-                        }
-                    }
-                    guard = relock(self.space.wait(guard));
+                published.accepted
+            }
+        }
+    }
+
+    /// One non-blocking publish transition: `MustWait` hands the frame
+    /// back instead of parking. Emits no wait spans (nothing waits);
+    /// drop instants are still recorded.
+    pub fn try_publish(&self, frame: T) -> TryPublish<T> {
+        match &self.engine {
+            Engine::Locked { state, data, .. } => {
+                let mut guard = relock(state.lock());
+                let drops_before = guard.drops();
+                let outcome = guard.try_publish(frame);
+                if matches!(outcome, TryPublish::Accepted) {
+                    data.notify_one();
+                    self.record_drop(guard.drops() - drops_before);
                 }
+                outcome
+            }
+            #[cfg(feature = "lockfree-swap")]
+            Engine::Lockfree(q) => {
+                let drops_before = q.drops();
+                let outcome = q.try_publish(frame);
+                if matches!(outcome, TryPublish::Accepted) {
+                    // Single-producer contract: no publish raced this
+                    // one, so the counter delta is this call's drops.
+                    self.record_drop(q.drops() - drops_before);
+                }
+                outcome
             }
         }
     }
@@ -212,52 +346,82 @@ impl<T> SyncQueue<T> {
     /// Pops the oldest frame, blocking while the buffer is empty. Returns
     /// `None` once the queue is closed *and* drained.
     pub fn pop_blocking(&self) -> Option<T> {
-        let mut guard = relock(self.state.lock());
-        let mut waited = false;
-        loop {
-            match guard.try_pop() {
-                TryPop::Frame(frame) => {
-                    self.space.notify_one();
-                    self.end_wait(waited, names::WAIT_DATA);
-                    return Some(frame);
-                }
-                TryPop::Drained => {
-                    self.end_wait(waited, names::WAIT_DATA);
-                    return None;
-                }
-                TryPop::MustWait => {
-                    if !waited {
-                        waited = true;
-                        if let Some(obs) = &self.obs {
-                            obs.record(Event::begin(obs.now_ns(), obs.track, names::WAIT_DATA));
+        match &self.engine {
+            Engine::Locked { state, space, data } => {
+                let mut guard = relock(state.lock());
+                let mut waited = false;
+                loop {
+                    match guard.try_pop() {
+                        TryPop::Frame(frame) => {
+                            space.notify_one();
+                            self.end_wait(waited, names::WAIT_DATA);
+                            return Some(frame);
+                        }
+                        TryPop::Drained => {
+                            self.end_wait(waited, names::WAIT_DATA);
+                            return None;
+                        }
+                        TryPop::MustWait => {
+                            if !waited {
+                                waited = true;
+                                self.begin_wait(names::WAIT_DATA);
+                            }
+                            guard = relock(data.wait(guard));
                         }
                     }
-                    guard = relock(self.data.wait(guard));
                 }
+            }
+            #[cfg(feature = "lockfree-swap")]
+            Engine::Lockfree(q) => {
+                let (frame, waited) = q.pop_blocking_with(|| self.begin_wait(names::WAIT_DATA));
+                self.end_wait(waited, names::WAIT_DATA);
+                frame
             }
         }
     }
 
     /// Attempts to pop without blocking.
     pub fn try_pop(&self) -> Option<T> {
-        let mut guard = relock(self.state.lock());
-        match guard.try_pop() {
-            TryPop::Frame(frame) => {
-                self.space.notify_one();
-                Some(frame)
-            }
+        match self.try_pop_outcome() {
+            TryPop::Frame(frame) => Some(frame),
             TryPop::Drained | TryPop::MustWait => None,
+        }
+    }
+
+    /// One non-blocking pop transition with the protocol's full
+    /// vocabulary (`Drained` vs `MustWait`), for differential testing
+    /// of the two engines.
+    pub fn try_pop_outcome(&self) -> TryPop<T> {
+        match &self.engine {
+            Engine::Locked { state, space, .. } => {
+                let mut guard = relock(state.lock());
+                let outcome = guard.try_pop();
+                if matches!(outcome, TryPop::Frame(_)) {
+                    space.notify_one();
+                }
+                outcome
+            }
+            #[cfg(feature = "lockfree-swap")]
+            Engine::Lockfree(q) => q.try_pop_outcome(),
         }
     }
 
     /// Priority publish: flushes every pending (obsolete) frame and stores
     /// this one, never blocking. Returns the number of frames flushed, or
-    /// `None` if the queue was closed.
+    /// `None` if the queue was closed. On the lock-free engine this must
+    /// be called from the producer thread.
     pub fn publish_priority(&self, frame: T) -> Option<usize> {
-        let mut guard = relock(self.state.lock());
-        let flushed = guard.try_publish_priority(frame)?;
-        self.data.notify_one();
-        self.space.notify_one();
+        let flushed = match &self.engine {
+            Engine::Locked { state, space, data } => {
+                let mut guard = relock(state.lock());
+                let flushed = guard.try_publish_priority(frame)?;
+                data.notify_one();
+                space.notify_one();
+                flushed
+            }
+            #[cfg(feature = "lockfree-swap")]
+            Engine::Lockfree(q) => q.publish_priority(frame)?,
+        };
         if flushed > 0 {
             if let Some(obs) = &self.obs {
                 obs.record(
@@ -271,28 +435,47 @@ impl<T> SyncQueue<T> {
 
     /// Closes the queue: producers stop, consumers drain then get `None`.
     pub fn close(&self) {
-        let mut guard = relock(self.state.lock());
-        guard.close();
-        self.data.notify_all();
-        self.space.notify_all();
+        match &self.engine {
+            Engine::Locked { state, space, data } => {
+                let mut guard = relock(state.lock());
+                guard.close();
+                data.notify_all();
+                space.notify_all();
+            }
+            #[cfg(feature = "lockfree-swap")]
+            Engine::Lockfree(q) => q.close(),
+        }
     }
 
     /// Returns `true` if the queue has been closed.
     #[must_use]
     pub fn is_closed(&self) -> bool {
-        relock(self.state.lock()).is_closed()
+        match &self.engine {
+            Engine::Locked { state, .. } => relock(state.lock()).is_closed(),
+            #[cfg(feature = "lockfree-swap")]
+            Engine::Lockfree(q) => q.is_closed(),
+        }
     }
 
     /// Total frames dropped by overwrites or priority flushes.
     #[must_use]
     pub fn drops(&self) -> u64 {
-        relock(self.state.lock()).drops()
+        match &self.engine {
+            Engine::Locked { state, .. } => relock(state.lock()).drops(),
+            #[cfg(feature = "lockfree-swap")]
+            Engine::Lockfree(q) => q.drops(),
+        }
     }
 
-    /// Current number of pending frames.
+    /// Current number of pending frames (advisory on the lock-free
+    /// engine, exact on the locked one).
     #[must_use]
     pub fn len(&self) -> usize {
-        relock(self.state.lock()).len()
+        match &self.engine {
+            Engine::Locked { state, .. } => relock(state.lock()).len(),
+            #[cfg(feature = "lockfree-swap")]
+            Engine::Lockfree(q) => q.len(),
+        }
     }
 
     /// Returns `true` if no frames are pending.
@@ -338,6 +521,37 @@ mod tests {
         // Only the most recent frame survives.
         assert_eq!(q.try_pop(), Some(99));
         assert_eq!(q.drops(), 99);
+    }
+
+    #[cfg(feature = "lockfree-swap")]
+    #[test]
+    fn default_overwriting_queue_is_lockfree() {
+        assert!(SyncQueue::<u8>::new_overwriting(1).uses_lockfree());
+        assert!(!SyncQueue::<u8>::new_blocking(1).uses_lockfree());
+        assert!(!SyncQueue::<u8>::new_locked(1, FullPolicy::Overwrite).uses_lockfree());
+        assert!(SyncQueue::<u8>::new_lockfree(1, FullPolicy::Block).uses_lockfree());
+    }
+
+    #[cfg(feature = "lockfree-swap")]
+    #[test]
+    fn lockfree_blocking_queue_transfers_in_order() {
+        let q = Arc::new(SyncQueue::new_lockfree(2, FullPolicy::Block));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                for i in 0..10_000u32 {
+                    assert!(q.publish_blocking(i));
+                }
+                q.close();
+            })
+        };
+        let mut expected = 0u32;
+        while let Some(v) = q.pop_blocking() {
+            assert_eq!(v, expected);
+            expected += 1;
+        }
+        assert_eq!(expected, 10_000);
+        producer.join().expect("producer");
     }
 
     #[test]
@@ -392,13 +606,35 @@ mod tests {
     }
 
     #[test]
+    fn try_publish_hands_frame_back_when_full() {
+        for q in [
+            SyncQueue::new_locked(1, FullPolicy::Block),
+            #[cfg(feature = "lockfree-swap")]
+            SyncQueue::new_lockfree(1, FullPolicy::Block),
+        ] {
+            assert_eq!(q.try_publish(1u8), TryPublish::Accepted);
+            assert_eq!(q.try_publish(2), TryPublish::MustWait(2));
+            assert_eq!(q.try_pop_outcome(), TryPop::Frame(1));
+            assert_eq!(q.try_pop_outcome(), TryPop::MustWait);
+            q.close();
+            assert_eq!(q.try_pop_outcome(), TryPop::Drained);
+        }
+    }
+
+    #[test]
     fn poisoned_lock_does_not_wedge_the_queue() {
         let q = Arc::new(SyncQueue::new_blocking(2));
         let poisoner = {
             let q = Arc::clone(&q);
             thread::spawn(move || {
-                let _guard = relock(q.state.lock());
-                panic!("poison the mutex on purpose");
+                match &q.engine {
+                    Engine::Locked { state, .. } => {
+                        let _guard = relock(state.lock());
+                        panic!("poison the mutex on purpose");
+                    }
+                    #[cfg(feature = "lockfree-swap")]
+                    Engine::Lockfree(_) => unreachable!("blocking queues use the locked engine"),
+                }
             })
         };
         assert!(poisoner.join().is_err());

@@ -1,0 +1,122 @@
+//! Differential property test: the locked (mutex/condvar) and
+//! lock-free (atomic slot-exchange) `SyncQueue` engines must be
+//! observably identical for any single-threaded schedule of
+//! publish/pop/priority/close operations, in both full-buffer policies.
+//!
+//! Driven sequentially there is no contention, so every operation is
+//! deterministic on both engines and the comparison is exact: same
+//! outcome enum, same popped values, same drop counter, same occupancy
+//! after every step. Concurrent equivalence is covered by the
+//! atomics-aware model checker in `odr-check` (`amodel`) and by the
+//! loom-style condvar model; this test nails the sequential semantics
+//! the two engines must share.
+#![cfg(feature = "lockfree-swap")]
+
+use odr_core::queue::FullPolicy;
+use odr_core::swap::{TryPop, TryPublish};
+use odr_core::SyncQueue;
+use proptest::prelude::*;
+
+/// One operation of an arbitrary schedule.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    TryPublish,
+    TryPop,
+    Priority,
+    Close,
+}
+
+fn op_from(code: u8) -> Op {
+    match code % 8 {
+        // Bias toward publish/pop so schedules exercise full and empty
+        // buffers; close is rare (it is absorbing for publishes).
+        0 | 1 | 2 => Op::TryPublish,
+        3 | 4 | 5 => Op::TryPop,
+        6 => Op::Priority,
+        _ => Op::Close,
+    }
+}
+
+/// Applies `ops` to both engines in lockstep, asserting every
+/// observable matches at every step.
+fn run_differential(policy: FullPolicy, capacity: usize, codes: &[u8]) -> Result<(), TestCaseError> {
+    let locked: SyncQueue<u64> = SyncQueue::new_locked(capacity, policy);
+    let lockfree: SyncQueue<u64> = SyncQueue::new_lockfree(capacity, policy);
+    prop_assert!(!locked.uses_lockfree());
+    prop_assert!(lockfree.uses_lockfree());
+
+    let mut token: u64 = 0;
+    for (i, &code) in codes.iter().enumerate() {
+        match op_from(code) {
+            Op::TryPublish => {
+                token += 1;
+                let a: TryPublish<u64> = locked.try_publish(token);
+                let b: TryPublish<u64> = lockfree.try_publish(token);
+                prop_assert_eq!(&a, &b, "step {}: try_publish({}) diverged", i, token);
+            }
+            Op::TryPop => {
+                let a: TryPop<u64> = locked.try_pop_outcome();
+                let b: TryPop<u64> = lockfree.try_pop_outcome();
+                prop_assert_eq!(&a, &b, "step {}: try_pop diverged", i);
+            }
+            Op::Priority => {
+                token += 1;
+                let a = locked.publish_priority(token);
+                let b = lockfree.publish_priority(token);
+                prop_assert_eq!(a, b, "step {}: publish_priority({}) diverged", i, token);
+            }
+            Op::Close => {
+                locked.close();
+                lockfree.close();
+            }
+        }
+        prop_assert_eq!(
+            locked.is_closed(),
+            lockfree.is_closed(),
+            "step {}: is_closed diverged",
+            i
+        );
+        prop_assert_eq!(locked.drops(), lockfree.drops(), "step {}: drops diverged", i);
+        prop_assert_eq!(locked.len(), lockfree.len(), "step {}: len diverged", i);
+        prop_assert_eq!(
+            locked.is_empty(),
+            lockfree.is_empty(),
+            "step {}: is_empty diverged",
+            i
+        );
+    }
+
+    // Drain both to the end: the tails must agree too.
+    loop {
+        let a = locked.try_pop_outcome();
+        let b = lockfree.try_pop_outcome();
+        prop_assert_eq!(&a, &b, "drain diverged");
+        match a {
+            TryPop::Frame(_) => {}
+            TryPop::Drained | TryPop::MustWait => break,
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Overwrite mode: arbitrary schedules, capacities 1-4.
+    #[test]
+    fn engines_agree_in_overwrite_mode(
+        codes in prop::collection::vec(any::<u8>(), 0..96),
+        cap in 1usize..5,
+    ) {
+        run_differential(FullPolicy::Overwrite, cap, &codes)?;
+    }
+
+    /// Blocking mode: arbitrary schedules, capacities 1-4. `try_*`
+    /// surfaces the would-block edges as `MustWait`, so full/empty
+    /// boundary behaviour is compared without any actual blocking.
+    #[test]
+    fn engines_agree_in_block_mode(
+        codes in prop::collection::vec(any::<u8>(), 0..96),
+        cap in 1usize..5,
+    ) {
+        run_differential(FullPolicy::Block, cap, &codes)?;
+    }
+}

@@ -51,6 +51,22 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
 pub fn run_outcomes(configs: &[ExperimentConfig], threads: usize) -> Vec<SessionOutcome> {
     let total = configs.len() as u32;
     let threads = threads.clamp(1, configs.len().max(1));
+
+    if threads == 1 {
+        // One worker needs no pool: run inline on the caller's thread.
+        // Keeps single-thread baselines (and 1-core hosts) free of
+        // spawn/join overhead so serial-vs-parallel timings compare
+        // the schedule, not the scaffolding.
+        return configs
+            .iter()
+            .enumerate()
+            .map(|(index, session_cfg)| {
+                let report = run_experiment(session_cfg);
+                SessionOutcome::from_report(index as u32, session_cfg, &report)
+            })
+            .collect();
+    }
+
     let next = AtomicU32::new(0);
 
     let mut outcomes: Vec<SessionOutcome> = Vec::with_capacity(configs.len());
