@@ -6,8 +6,10 @@
 //! lets the same hardware serve measurably more sessions.
 //!
 //! Also sweeps the three placement policies under ODR, re-checks that
-//! the ODR run is byte-identical on 1 and 8 worker threads, and writes
-//! `BENCH_cluster.json` (wall-clock sessions/s and frames/s plus a
+//! the ODR run is byte-identical on 1 and 8 worker threads, times the
+//! analytic-fidelity replay of the same pool (identical control plane,
+//! synthetic measurement), and writes `BENCH_cluster.json` (fidelity
+//! mode, wall-clock sessions/s and frames/s for both modes, plus a
 //! peak-RSS estimate) for machine consumption by CI trend tooling.
 //!
 //! ```text
@@ -26,16 +28,17 @@ const HORIZON_SECS: u64 = 120;
 
 fn pool(spec: RegulationSpec, placement: PlacementKind, threads: usize) -> ClusterConfig {
     let churn = ChurnConfig::new(ARRIVAL_RATE, PolicyMix::uniform(spec));
-    ClusterConfig::new(
+    ClusterConfig::builder(
         Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud),
-        NODES,
         churn,
     )
-    .with_horizon(Duration::from_secs(HORIZON_SECS))
-    .with_seed(0xC10D_3D)
-    .with_measure(false)
-    .with_placement(placement)
-    .with_threads(threads)
+    .nodes(NODES)
+    .horizon(Duration::from_secs(HORIZON_SECS))
+    .seed(0xC10D_3D)
+    .measure(false)
+    .placement(placement)
+    .threads(threads)
+    .build()
 }
 
 fn line(r: &ClusterReport) -> String {
@@ -92,8 +95,35 @@ fn main() {
     );
     println!("cluster_scaling: reports byte-identical across thread counts");
 
+    // Analytic fidelity: identical control plane (equal admission
+    // counts), synthetic measurement — record its wall clock next to the
+    // FullDes one so the speedup is visible in the JSON trend.
+    println!("-- analytic fidelity --");
+    let start = Instant::now();
+    let analytic_run = run_cluster(
+        &pool(odr_spec, PlacementKind::FirstFit, 1)
+            .with_measure(true)
+            .with_fidelity(FidelityMode::Analytic),
+    );
+    let analytic_wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        analytic_run.report.admitted, odr.admitted,
+        "analytic control plane must admit exactly the FullDes count"
+    );
+    assert_eq!(
+        analytic_run.report.measured_sessions, odr.measured_sessions,
+        "analytic mode must measure exactly the FullDes spans"
+    );
+    println!(
+        "analytic: {:.2} s wall vs {:.2} s full ({:.1}x)",
+        analytic_wall_s,
+        odr_wall_s,
+        odr_wall_s / analytic_wall_s.max(1e-9)
+    );
+
     let mut json = BenchJson::default();
     json.str("bench", "cluster_scaling")
+        .str("mode", FidelityMode::FullDes.label())
         .int("nodes", u64::from(NODES))
         .int("horizon_secs", HORIZON_SECS)
         .int("arrivals", odr.arrivals)
@@ -104,6 +134,15 @@ fn main() {
         .num(
             "frames_per_sec",
             odr_run.measured.frames_rendered as f64 / odr_wall_s.max(1e-9),
+        )
+        .num("analytic_wall_s", analytic_wall_s)
+        .num(
+            "analytic_sessions_per_sec",
+            analytic_run.report.arrivals as f64 / analytic_wall_s.max(1e-9),
+        )
+        .num(
+            "analytic_frames_per_sec",
+            analytic_run.measured.frames_rendered as f64 / analytic_wall_s.max(1e-9),
         )
         .num("admit_gain", admit_gain)
         .num("goodput_gain", goodput_gain);

@@ -6,8 +6,10 @@
 //! Thread count is clamped to the host's available parallelism: timing
 //! 8 workers on a 1-core container measures context-switch overhead,
 //! not scaling, and used to report a dishonest 0.97x "speedup". Each
-//! configuration is timed best-of-N after a warmup run, so one noisy
-//! scheduler hiccup cannot sink the emitted number.
+//! configuration is timed best-of-N strictly *after* its own untimed
+//! warmup run, so every timed iteration sees warm arenas and scratch
+//! buffers — mixing the first, cold-allocation run into the best-of
+//! used to flatter whichever arm ran second.
 //!
 //! On a host with >= 4 cores the speedup is asserted > 1x (the sessions
 //! are embarrassingly parallel; anything else means the engine is
@@ -16,11 +18,20 @@
 //! cannot speed up, and the parallel run degenerates to the serial one.
 //!
 //! Also writes `BENCH_fleet.json` next to the working directory:
-//! wall-clock throughput (sessions/s, frames/s) per thread count plus a
-//! peak-RSS estimate, for machine consumption by CI trend tooling.
+//! fidelity mode and wall-clock throughput (sessions/s, frames/s) per
+//! thread count plus a peak-RSS estimate, for machine consumption by CI
+//! trend tooling.
+//!
+//! With `--fidelity analytic` the harness instead runs one analytic
+//! fleet of `--sessions` sessions (default 1,000,000): each session
+//! class calibrates once through the real DES, then every session
+//! replays the calibrated distributions analytically. A small FullDes
+//! fleet is re-timed in-process as the baseline and the analytic run
+//! must beat it by >= 100x sessions/s.
 //!
 //! ```text
 //! cargo run --release -p odr-bench --bin fleet_scaling
+//! cargo run --release -p odr-bench --bin fleet_scaling -- --fidelity analytic
 //! ```
 
 use std::time::Instant;
@@ -29,48 +40,80 @@ use cloud3d_odr::prelude::*;
 use odr_bench::emit::{peak_rss_bytes, BenchJson};
 
 const SESSIONS: u32 = 64;
+const ANALYTIC_SESSIONS: u32 = 1_000_000;
 const MAX_PARALLEL_THREADS: usize = 8;
 /// Timing repetitions per thread count (best-of, after one warmup).
 const REPS: u32 = 3;
+/// Analytic throughput floor relative to the FullDes baseline.
+const ANALYTIC_MIN_SPEEDUP: f64 = 100.0;
 
-fn fleet_cfg(threads: usize) -> FleetConfig {
+fn fleet_cfg(sessions: u32, threads: usize, fidelity: FidelityMode) -> FleetConfig {
     FleetConfig::builder(
         Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud),
         RegulationSpec::odr(FpsGoal::Target(60.0)),
     )
     .base(|b| b.duration(Duration::from_secs(5)).seed(42))
-    .sessions(SESSIONS)
+    .sessions(sessions)
     .threads(threads)
+    .fidelity(fidelity)
     .build()
 }
 
-fn timed_run(threads: usize) -> (FleetReport, f64) {
-    let cfg = fleet_cfg(threads);
-    let start = Instant::now();
-    let report = run_fleet(&cfg);
-    let mut best = start.elapsed().as_secs_f64();
-    for _ in 1..REPS {
+/// Times `run_fleet` best-of-[`REPS`] after one untimed warmup run of
+/// the same configuration, so cold-start allocation (arena growth, slab
+/// reservation, worker spawn) never lands inside a timed iteration.
+fn timed_run(cfg: &FleetConfig) -> (FleetReport, f64) {
+    let report = run_fleet(cfg);
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
         let start = Instant::now();
-        let _ = run_fleet(&cfg);
+        let _ = run_fleet(cfg);
         best = best.min(start.elapsed().as_secs_f64());
     }
     (report, best)
 }
 
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fidelity = FidelityMode::FullDes;
+    let mut sessions: Option<u32> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fidelity" => {
+                let Some(v) = it.next() else { fail("--fidelity needs a value") };
+                fidelity = FidelityMode::parse(v)
+                    .unwrap_or_else(|| fail(&format!("unknown fidelity {v} (want full|analytic)")));
+            }
+            "--sessions" => {
+                let Some(v) = it.next() else { fail("--sessions needs a value") };
+                sessions = Some(v.parse().unwrap_or_else(|_| fail("bad session count")));
+            }
+            other => fail(&format!("unknown option {other}")),
+        }
+    }
+    match fidelity {
+        FidelityMode::FullDes => run_full(sessions.unwrap_or(SESSIONS)),
+        FidelityMode::Analytic => run_analytic(sessions.unwrap_or(ANALYTIC_SESSIONS)),
+    }
+}
+
+fn run_full(sessions: u32) {
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let parallel_threads = MAX_PARALLEL_THREADS.min(cores).max(1);
 
-    // Warmup: touch every code path once so first-run effects (page
-    // faults, lazy allocation) land outside the timed region.
-    let _ = run_fleet(&fleet_cfg(parallel_threads));
-
-    let (serial, serial_s) = timed_run(1);
-    let (parallel, parallel_s) = timed_run(parallel_threads);
+    let (serial, serial_s) = timed_run(&fleet_cfg(sessions, 1, FidelityMode::FullDes));
+    let (parallel, parallel_s) =
+        timed_run(&fleet_cfg(sessions, parallel_threads, FidelityMode::FullDes));
     let speedup = serial_s / parallel_s.max(1e-9);
 
     println!(
-        "fleet_scaling: {SESSIONS} sessions | {serial_s:.3} s on 1 thread, \
+        "fleet_scaling: {sessions} sessions | {serial_s:.3} s on 1 thread, \
          {parallel_s:.3} s on {parallel_threads} thread(s) | speedup {speedup:.2}x \
          ({cores} core(s) available, best of {REPS})"
     );
@@ -84,17 +127,21 @@ fn main() {
 
     let mut json = BenchJson::default();
     json.str("bench", "fleet_scaling")
-        .int("sessions", u64::from(SESSIONS))
+        .str("mode", FidelityMode::FullDes.label())
+        .int("sessions", u64::from(sessions))
         .int("frames_rendered", serial.frames_rendered)
         .int("cores", cores as u64)
         .num("serial_wall_s", serial_s)
         .num("parallel_wall_s", parallel_s)
         .int("parallel_threads", parallel_threads as u64)
         .num("speedup", speedup)
-        .num("serial_sessions_per_sec", f64::from(SESSIONS) / serial_s.max(1e-9))
+        .num(
+            "serial_sessions_per_sec",
+            f64::from(sessions) / serial_s.max(1e-9),
+        )
         .num(
             "parallel_sessions_per_sec",
-            f64::from(SESSIONS) / parallel_s.max(1e-9),
+            f64::from(sessions) / parallel_s.max(1e-9),
         )
         .num(
             "serial_frames_per_sec",
@@ -104,19 +151,7 @@ fn main() {
             "parallel_frames_per_sec",
             parallel.frames_rendered as f64 / parallel_s.max(1e-9),
         );
-    match peak_rss_bytes() {
-        Some(rss) => {
-            json.int("peak_rss_bytes", rss);
-        }
-        None => {
-            json.num("peak_rss_bytes", f64::NAN);
-        }
-    }
-    let path = std::path::Path::new("BENCH_fleet.json");
-    match json.write(path) {
-        Ok(()) => println!("fleet_scaling: wrote {}", path.display()),
-        Err(e) => eprintln!("fleet_scaling: could not write {}: {e}", path.display()),
-    }
+    write_json(&mut json);
 
     if cores >= 8 {
         // Loose bound: perfectly parallel work should scale near-linearly,
@@ -137,5 +172,85 @@ fn main() {
         println!(
             "fleet_scaling: {cores} core(s) < 4; reporting only, no speedup assertion"
         );
+    }
+}
+
+fn run_analytic(sessions: u32) {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    // Baseline: the FullDes rate this host actually sustains, measured
+    // in-process so the >= 100x claim never compares against a stale
+    // number from different hardware.
+    let full_cfg = fleet_cfg(SESSIONS, 1, FidelityMode::FullDes);
+    let (_, full_s) = timed_run(&full_cfg);
+    let full_rate = f64::from(SESSIONS) / full_s.max(1e-9);
+
+    // The analytic fleet: calibrate the class once (8 DES sessions),
+    // replay every session analytically. Timed once after a warmup —
+    // at 10^6 sessions a single run is already seconds, not millis, so
+    // best-of adds wall clock without adding signal.
+    let cfg = fleet_cfg(sessions, 1, FidelityMode::Analytic);
+    let _ = run_fleet(&fleet_cfg(sessions.min(10_000), 1, FidelityMode::Analytic));
+    let start = Instant::now();
+    let report = run_fleet(&cfg);
+    let wall_s = start.elapsed().as_secs_f64();
+    let rate = f64::from(sessions) / wall_s.max(1e-9);
+    let speedup = rate / full_rate.max(1e-9);
+
+    println!(
+        "fleet_scaling: {sessions} analytic sessions in {wall_s:.3} s \
+         ({rate:.0} sessions/s) vs FullDes {full_rate:.0} sessions/s \
+         = {speedup:.0}x ({cores} core(s) available)"
+    );
+
+    // Determinism: the analytic replay is a serial loop, so the report
+    // must be byte-identical whatever the worker-thread count used for
+    // calibration.
+    let t8 = run_fleet(&fleet_cfg(sessions, 8, FidelityMode::Analytic));
+    assert_eq!(
+        report.to_text(),
+        t8.to_text(),
+        "analytic fleet report differs between 1 and 8 threads"
+    );
+    println!("fleet_scaling: analytic reports byte-identical across thread counts");
+
+    assert_eq!(u64::from(report.sessions), u64::from(sessions));
+    assert!(
+        speedup >= ANALYTIC_MIN_SPEEDUP,
+        "expected analytic mode to beat FullDes by >= {ANALYTIC_MIN_SPEEDUP}x \
+         sessions/s, measured {speedup:.1}x ({rate:.0} vs {full_rate:.0})"
+    );
+    println!("fleet_scaling: analytic speedup within expectations");
+
+    let mut json = BenchJson::default();
+    json.str("bench", "fleet_scaling")
+        .str("mode", FidelityMode::Analytic.label())
+        .int("sessions", u64::from(sessions))
+        .int("frames_rendered", report.frames_rendered)
+        .int("cores", cores as u64)
+        .num("wall_s", wall_s)
+        .num("sessions_per_sec", rate)
+        .num(
+            "frames_per_sec",
+            report.frames_rendered as f64 / wall_s.max(1e-9),
+        )
+        .num("full_des_sessions_per_sec", full_rate)
+        .num("speedup_vs_full_des", speedup);
+    write_json(&mut json);
+}
+
+fn write_json(json: &mut BenchJson) {
+    match peak_rss_bytes() {
+        Some(rss) => {
+            json.int("peak_rss_bytes", rss);
+        }
+        None => {
+            json.num("peak_rss_bytes", f64::NAN);
+        }
+    }
+    let path = std::path::Path::new("BENCH_fleet.json");
+    match json.write(path) {
+        Ok(()) => println!("fleet_scaling: wrote {}", path.display()),
+        Err(e) => eprintln!("fleet_scaling: could not write {}: {e}", path.display()),
     }
 }

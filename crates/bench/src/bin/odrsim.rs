@@ -24,6 +24,9 @@
 //! * `--sessions <n>` — simulate a fleet of n sessions (seeds derived
 //!   per session) and print the aggregate fleet report instead
 //! * `--threads <t>` — fleet worker threads \[1\]; never changes output
+//! * `--fidelity full|analytic` — simulation fidelity \[full\]:
+//!   `analytic` calibrates each session class once and replays the
+//!   calibrated distributions analytically (fleet/cluster modes only)
 //!
 //! Fleet mode prints the deterministic [`odr_fleet::FleetReport`] text
 //! to stdout (byte-identical for any `--threads`) and wall-clock timing
@@ -82,8 +85,12 @@ fn main() {
         let elapsed = started.elapsed().as_secs_f64();
         print!("{}", run.report.to_text());
         eprintln!(
-            "cluster: {} nodes, {} arrivals on {} thread(s) in {:.2} s wall",
-            run.report.nodes, run.report.arrivals, cfg.threads, elapsed
+            "cluster: {} nodes, {} arrivals ({}) on {} thread(s) in {:.2} s wall",
+            run.report.nodes,
+            run.report.arrivals,
+            cfg.sim.fidelity.label(),
+            cfg.sim.threads,
+            elapsed
         );
         if let Some(path) = &config.trace_out {
             write_trace(path, config.trace_format, &run.obs);
@@ -91,14 +98,17 @@ fn main() {
         return;
     }
     if let Some(sessions) = config.sessions {
-        let fleet_cfg = FleetConfig::new(experiment, sessions).with_threads(config.threads);
+        let fleet_cfg = FleetConfig::new(experiment, sessions)
+            .with_threads(config.threads)
+            .with_fidelity(config.fidelity);
         let started = std::time::Instant::now();
         let fleet = run_fleet(&fleet_cfg);
         let elapsed = started.elapsed().as_secs_f64();
         print!("{}", fleet.to_text());
         eprintln!(
-            "fleet: {} sessions on {} thread(s) in {:.2} s wall",
+            "fleet: {} sessions ({}) on {} thread(s) in {:.2} s wall",
             sessions,
+            fleet_cfg.sim.fidelity.label(),
             fleet_cfg.effective_threads(),
             elapsed
         );
@@ -183,6 +193,7 @@ const USAGE: &str = "odrsim — simulate one cloud-3D configuration
   --trace-format jsonl|chrome          trace file format        [jsonl]
   --sessions <n>                       fleet mode: n sessions, aggregate report
   --threads <t>                        fleet/cluster worker threads [1]
+  --fidelity full|analytic             simulation fidelity          [full]
   --cluster                            cluster mode: churn + admission control
   --nodes <n>                          cluster node pool size       [4]
   --arrival-rate <per-sec>             mean session arrivals/s      [0.5]
@@ -221,22 +232,24 @@ fn cluster_config(
     };
     let churn = ChurnConfig::new(cluster.arrival_rate, mix)
         .with_mean_session(Duration::from_secs(cluster.session_secs));
-    let mut cfg = ClusterConfig::new(experiment.scenario, cluster.nodes, churn)
-        .with_horizon(experiment.duration)
-        .with_seed(experiment.seed)
-        .with_placement(cluster.placement)
-        .with_slo(Slo {
+    let mut builder = ClusterConfig::builder(experiment.scenario, churn)
+        .nodes(cluster.nodes)
+        .horizon(experiment.duration)
+        .seed(experiment.seed)
+        .placement(cluster.placement)
+        .slo(Slo {
             min_fps: cluster.slo_fps,
             max_mtp_ms: cluster.slo_mtp,
             ..Slo::default()
         })
-        .with_measure(cluster.measure)
-        .with_threads(parsed.threads)
-        .with_obs(experiment.obs);
+        .measure(cluster.measure)
+        .threads(parsed.threads)
+        .fidelity(parsed.fidelity)
+        .obs(experiment.obs);
     for &(at_secs, node) in &cluster.kills {
-        cfg = cfg.with_kill(SimTime::ZERO + Duration::from_secs_f64(at_secs), node);
+        builder = builder.kill(SimTime::ZERO + Duration::from_secs_f64(at_secs), node);
     }
-    cfg
+    builder.build()
 }
 
 /// Observability trace file formats `--trace-format` accepts.
@@ -254,6 +267,7 @@ struct Parsed {
     trace_format: TraceFormat,
     sessions: Option<u32>,
     threads: usize,
+    fidelity: FidelityMode,
     cluster: Option<ClusterArgs>,
     experiment: ExperimentConfig,
 }
@@ -274,6 +288,7 @@ fn parse(args: &[String]) -> OdrResult<Parsed> {
     let mut trace_format: Option<TraceFormat> = None;
     let mut sessions: Option<u32> = None;
     let mut threads = 1usize;
+    let mut fidelity = FidelityMode::FullDes;
     let mut cluster = false;
     let mut nodes = 4u32;
     let mut arrival_rate = 0.5f64;
@@ -369,6 +384,11 @@ fn parse(args: &[String]) -> OdrResult<Parsed> {
                     return Err(OdrError::arg("need at least one thread"));
                 }
             }
+            "--fidelity" => {
+                let v = value("--fidelity")?;
+                fidelity = FidelityMode::parse(v)
+                    .ok_or_else(|| OdrError::arg(format!("unknown fidelity {v}")))?;
+            }
             "--cluster" => cluster = true,
             "--nodes" => {
                 nodes = value("--nodes")?
@@ -445,6 +465,11 @@ fn parse(args: &[String]) -> OdrResult<Parsed> {
     if trace_format.is_some() && trace_out.is_none() {
         return Err(OdrError::arg("--trace-format needs --trace-out"));
     }
+    if fidelity == FidelityMode::Analytic && sessions.is_none() && !cluster {
+        return Err(OdrError::arg(
+            "--fidelity analytic needs --sessions or --cluster",
+        ));
+    }
 
     let spec = match regulation.as_str() {
         "noreg" => RegulationSpec::NoReg,
@@ -485,6 +510,7 @@ fn parse(args: &[String]) -> OdrResult<Parsed> {
         trace_format: trace_format.unwrap_or(TraceFormat::Jsonl),
         sessions,
         threads,
+        fidelity,
         cluster,
         experiment,
     })
@@ -658,9 +684,23 @@ mod tests {
         let cfg = cluster_config(args, &p, &p.experiment);
         assert_eq!(cfg.nodes, 3);
         assert_eq!(cfg.seed, 77);
-        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.sim.threads, 4);
+        assert_eq!(cfg.sim.fidelity, FidelityMode::FullDes);
         assert_eq!(cfg.horizon, Duration::from_secs(40));
         assert_eq!(cfg.churn.mix.label(), "ODR60");
+    }
+
+    #[test]
+    fn fidelity_flag_parses_and_needs_a_fleet_or_cluster() {
+        let p = parse(&argv("--sessions 16 --fidelity analytic")).expect("parse");
+        assert_eq!(p.fidelity, FidelityMode::Analytic);
+        let d = parse(&argv("--sessions 16")).expect("defaults");
+        assert_eq!(d.fidelity, FidelityMode::FullDes);
+        let c = parse(&argv("--cluster --fidelity analytic")).expect("cluster analytic");
+        let cfg = cluster_config(c.cluster.as_ref().expect("on"), &c, &c.experiment);
+        assert_eq!(cfg.sim.fidelity, FidelityMode::Analytic);
+        assert!(parse(&argv("--fidelity analytic")).is_err());
+        assert!(parse(&argv("--sessions 16 --fidelity turbo")).is_err());
     }
 
     #[test]

@@ -57,10 +57,13 @@ pub struct LockScan {
 
 /// Source files subject to the lock-discipline pass: path prefixes
 /// relative to the repo root. These are exactly the modules that hold
-/// `std::sync` guards on the real-thread path; pure-sim crates have no
-/// locks at all.
+/// `std::sync` guards on the real-thread path — plus the arena-pooled
+/// event storage, which the fleet workers share across sessions and
+/// which must stay guard-free (a lock introduced there would serialize
+/// the million-session fast path and this pass would see it first).
 pub const LOCK_SCOPE: &[&str] = &[
     "crates/runtime/src/",
+    "crates/core/src/arena.rs",
     "crates/core/src/atomic_swap.rs",
     "crates/core/src/sync_queue.rs",
     "crates/obs/src/recorder.rs",

@@ -21,7 +21,7 @@ use odr_check::lint::{
     determinism_rules, feature_rules, panic_rules, scan_file, units_rules, Allowlist, FileScan,
     LintReport,
 };
-use odr_check::locks::{analyze_file, OrderGraph};
+use odr_check::locks::{analyze_file, in_scope, OrderGraph};
 use odr_check::taint::taint_rules;
 
 fn fixture(name: &str) -> String {
@@ -236,6 +236,73 @@ fn atomics_clean_corpus_is_silent() {
         "clean atomics corpus flagged: {:#?}",
         report.violations
     );
+}
+
+#[test]
+fn arena_clean_corpus_is_silent_across_all_passes() {
+    // Scanned as core code, so the full determinism family applies: the
+    // real arena's idioms (let-else panics instead of `.expect`, the
+    // `?` early-return pop, slab recycling) must survive every pass.
+    let s = scan("arena_clean.rs", "crates/core/src/arena_clean.rs");
+    let allow = Allowlist::default();
+    let mut report = LintReport::default();
+    determinism_rules(&s, &allow, &mut report);
+    panic_rules(&s, &allow, &mut report);
+    units_rules(&s, &allow, &mut report);
+    atomics_rules(&s, &allow, &mut report);
+    assert!(
+        report.violations.is_empty(),
+        "clean arena corpus flagged: {:#?}",
+        report.violations
+    );
+
+    let mut orders = OrderGraph::default();
+    let locks = analyze_file(&s.rel_path, &s.lexed, &s.in_test, &mut orders);
+    assert!(locks.findings.is_empty(), "{:?}", locks.findings);
+    assert!(orders.inversions().is_empty());
+}
+
+#[test]
+fn seeded_arena_defects_detected_at_exact_lines_and_rules() {
+    let src = fixture("arena_bad.rs");
+    let expected = bad_rules(&src);
+    assert_eq!(expected.len(), 5, "fixture should seed 5 defects");
+
+    let s = scan_file("crates/core/src/arena_bad.rs", &src);
+    let allow = Allowlist::default();
+    let mut report = LintReport::default();
+    determinism_rules(&s, &allow, &mut report);
+    panic_rules(&s, &allow, &mut report);
+    let got: BTreeMap<usize, String> = report
+        .violations
+        .iter()
+        .map(|v| (v.line, v.rule.to_string()))
+        .collect();
+    assert_eq!(got, expected, "violations: {:#?}", report.violations);
+}
+
+#[test]
+fn arena_module_is_in_lock_scope_and_seeded_blocking_is_detected() {
+    // The scope extension itself: the shipping arena file is covered,
+    // and its siblings are not swept in by prefix accident.
+    assert!(in_scope("crates/core/src/arena.rs"));
+    assert!(!in_scope("crates/core/src/lib.rs"));
+
+    // A seeded slab-under-mutex fixture scanned at the covered path:
+    // both blocking-while-guard-held defects must be flagged there.
+    let src = fixture("arena_lock_bad.rs");
+    let expected = bad_lines(&src);
+    assert_eq!(expected.len(), 2, "fixture should seed 2 defects");
+
+    let s = scan_file("crates/core/src/arena.rs", &src);
+    let mut orders = OrderGraph::default();
+    let locks = analyze_file(&s.rel_path, &s.lexed, &s.in_test, &mut orders);
+    let got: BTreeSet<usize> = locks.findings.iter().map(|(l, _, _)| l + 1).collect();
+    assert_eq!(got, expected, "findings: {:#?}", locks.findings);
+    assert!(locks
+        .findings
+        .iter()
+        .all(|(_, rule, _)| *rule == "lock/blocking-call"));
 }
 
 #[test]

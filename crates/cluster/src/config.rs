@@ -1,7 +1,7 @@
 //! Cluster configuration: node pool, churn process, SLOs, retry policy
 //! and the fault-injection schedule.
 
-use odr_core::{FpsGoal, RegulationSpec};
+use odr_core::{FidelityMode, FpsGoal, RegulationSpec, SimOptions};
 use odr_pipeline::colocation::ServerCapacity;
 use odr_simtime::{Duration, Rng, SimTime};
 use odr_workload::Scenario;
@@ -294,9 +294,14 @@ pub struct ClusterConfig {
     /// Run measured per-node sub-fleets after the control plane and fold
     /// them into the report (slower; off leaves the predicted QoS only).
     pub measure: bool,
-    /// Worker threads for calibration and measured sub-fleets; never
-    /// changes any reported number.
-    pub threads: usize,
+    /// Execution options. `sim.threads` sizes the worker pool for
+    /// calibration and measured sub-fleets and never changes any
+    /// reported number; `sim.fidelity` selects how the measurement phase
+    /// runs (FullDes re-runs every span as a pipeline DES, Analytic
+    /// synthesises span outcomes from the per-class calibration — the
+    /// control plane, and therefore every admission count, is identical
+    /// in both modes).
+    pub sim: SimOptions,
     /// Id of the first node, for sharded runs whose reports merge: give
     /// each shard a disjoint id range.
     pub first_node_id: u32,
@@ -330,9 +335,36 @@ impl ClusterConfig {
             kills: Vec::new(),
             calibration: Self::DEFAULT_CALIBRATION,
             measure: true,
-            threads: 1,
+            sim: SimOptions::new(),
             first_node_id: 0,
             obs: false,
+        }
+    }
+
+    /// Starts a typed builder with the defaults of [`ClusterConfig::new`]
+    /// (one node until [`nodes`](ClusterConfigBuilder::nodes) is called).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use odr_cluster::{ChurnConfig, ClusterConfig, PlacementKind, PolicyMix};
+    /// use odr_core::RegulationSpec;
+    /// use odr_simtime::Duration;
+    /// use odr_workload::{Benchmark, Platform, Resolution, Scenario};
+    ///
+    /// let scenario = Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud);
+    /// let cfg = ClusterConfig::builder(scenario, ChurnConfig::new(0.5, PolicyMix::paper()))
+    ///     .nodes(4)
+    ///     .horizon(Duration::from_secs(30))
+    ///     .placement(PlacementKind::OdrAware)
+    ///     .build();
+    /// assert_eq!(cfg.nodes, 4);
+    /// assert_eq!(cfg.horizon, Duration::from_secs(30));
+    /// ```
+    #[must_use]
+    pub fn builder(scenario: Scenario, churn: ChurnConfig) -> ClusterConfigBuilder {
+        ClusterConfigBuilder {
+            cfg: ClusterConfig::new(scenario, 1, churn),
         }
     }
 
@@ -395,7 +427,21 @@ impl ClusterConfig {
     /// Sets the worker-pool size for calibration and measurement.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> ClusterConfig {
-        self.threads = threads;
+        self.sim.threads = threads;
+        self
+    }
+
+    /// Sets the fidelity mode for the measurement phase.
+    #[must_use]
+    pub fn with_fidelity(mut self, fidelity: FidelityMode) -> ClusterConfig {
+        self.sim.fidelity = fidelity;
+        self
+    }
+
+    /// Replaces the execution options wholesale.
+    #[must_use]
+    pub fn with_sim(mut self, sim: SimOptions) -> ClusterConfig {
+        self.sim = sim;
         self
     }
 
@@ -431,6 +477,132 @@ impl ClusterConfig {
             self.nodes,
             self.placement.label()
         )
+    }
+}
+
+/// Typed builder for [`ClusterConfig`], mirroring
+/// [`odr_pipeline::ExperimentConfig::builder`] and
+/// `odr_fleet::FleetConfig::builder`.
+///
+/// Obtained from [`ClusterConfig::builder`]; `build` is infallible.
+/// Every setter documents its default, and a builder with no setters
+/// applied produces exactly `ClusterConfig::new(scenario, 1, churn)` —
+/// the equivalence test in this module pins that.
+#[derive(Clone, Debug)]
+pub struct ClusterConfigBuilder {
+    cfg: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    /// Sets the node-pool size (default: 1).
+    #[must_use]
+    pub fn nodes(mut self, nodes: u32) -> Self {
+        self.cfg.nodes = nodes;
+        self
+    }
+
+    /// Sets the per-node capacity (default: [`ServerCapacity::default`]).
+    #[must_use]
+    pub fn capacity(mut self, capacity: ServerCapacity) -> Self {
+        self.cfg.capacity = capacity;
+        self
+    }
+
+    /// Sets the simulated horizon (default:
+    /// [`ClusterConfig::DEFAULT_HORIZON`]).
+    #[must_use]
+    pub fn horizon(mut self, horizon: Duration) -> Self {
+        self.cfg.horizon = horizon;
+        self
+    }
+
+    /// Sets the base seed (default: `0x0D12_5EED`).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the admission SLO (default: [`Slo::default`]).
+    #[must_use]
+    pub fn slo(mut self, slo: Slo) -> Self {
+        self.cfg.slo = slo;
+        self
+    }
+
+    /// Sets the retry/load-shedding policy (default:
+    /// [`RetryPolicy::default`]).
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.cfg.retry = retry;
+        self
+    }
+
+    /// Selects the placement policy (default:
+    /// [`PlacementKind::FirstFit`]).
+    #[must_use]
+    pub fn placement(mut self, placement: PlacementKind) -> Self {
+        self.cfg.placement = placement;
+        self
+    }
+
+    /// Schedules a node failure (default: none; may be called multiple
+    /// times).
+    #[must_use]
+    pub fn kill(mut self, at: SimTime, node: u32) -> Self {
+        self.cfg.kills.push(NodeKill { at, node });
+        self
+    }
+
+    /// Sets the per-policy calibration run length (default:
+    /// [`ClusterConfig::DEFAULT_CALIBRATION`]).
+    #[must_use]
+    pub fn calibration(mut self, calibration: Duration) -> Self {
+        self.cfg.calibration = calibration;
+        self
+    }
+
+    /// Enables or disables the measured per-node sub-fleets (default:
+    /// on).
+    #[must_use]
+    pub fn measure(mut self, measure: bool) -> Self {
+        self.cfg.measure = measure;
+        self
+    }
+
+    /// Sets the worker-pool size (default: 1).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.sim.threads = threads;
+        self
+    }
+
+    /// Sets the measurement fidelity (default:
+    /// [`FidelityMode::FullDes`]).
+    #[must_use]
+    pub fn fidelity(mut self, fidelity: FidelityMode) -> Self {
+        self.cfg.sim.fidelity = fidelity;
+        self
+    }
+
+    /// Sets the first node id for sharded runs (default: 0).
+    #[must_use]
+    pub fn first_node_id(mut self, first_node_id: u32) -> Self {
+        self.cfg.first_node_id = first_node_id;
+        self
+    }
+
+    /// Enables observability capture (default: off).
+    #[must_use]
+    pub fn obs(mut self, obs: bool) -> Self {
+        self.cfg.obs = obs;
+        self
+    }
+
+    /// Finishes the builder.
+    #[must_use]
+    pub fn build(self) -> ClusterConfig {
+        self.cfg
     }
 }
 
@@ -512,13 +684,69 @@ mod tests {
         .with_kill(SimTime::from_secs(10), 1)
         .with_measure(false)
         .with_threads(8)
+        .with_fidelity(FidelityMode::Analytic)
         .with_first_node_id(16);
         assert_eq!(cfg.horizon, Duration::from_secs(30));
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.kills.len(), 1);
         assert!(!cfg.measure);
-        assert_eq!(cfg.threads, 8);
+        assert_eq!(cfg.sim.threads, 8);
+        assert_eq!(cfg.sim.fidelity, FidelityMode::Analytic);
         assert_eq!(cfg.first_node_id, 16);
         assert_eq!(cfg.label(), "IM/720p/Priv NoReg 4n odr-aware");
+    }
+
+    /// Field-by-field equivalence between the builder and literal
+    /// construction through `new` + `with_*`: same setters, same config.
+    #[test]
+    fn builder_matches_literal_construction() {
+        let scenario = Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud);
+        let churn = ChurnConfig::new(0.5, PolicyMix::paper());
+
+        let built = ClusterConfig::builder(scenario, churn.clone()).build();
+        let legacy = ClusterConfig::new(scenario, 1, churn.clone());
+        assert_eq!(format!("{built:?}"), format!("{legacy:?}"));
+
+        let built = ClusterConfig::builder(scenario, churn.clone())
+            .nodes(4)
+            .horizon(Duration::from_secs(30))
+            .seed(9)
+            .slo(Slo {
+                min_fps: 45.0,
+                ..Slo::default()
+            })
+            .retry(RetryPolicy {
+                max_retries: 1,
+                ..RetryPolicy::default()
+            })
+            .placement(PlacementKind::BestFit)
+            .kill(SimTime::from_secs(10), 1)
+            .calibration(Duration::from_secs(3))
+            .measure(false)
+            .threads(8)
+            .fidelity(FidelityMode::Analytic)
+            .first_node_id(16)
+            .obs(true)
+            .build();
+        let legacy = ClusterConfig::new(scenario, 4, churn)
+            .with_horizon(Duration::from_secs(30))
+            .with_seed(9)
+            .with_slo(Slo {
+                min_fps: 45.0,
+                ..Slo::default()
+            })
+            .with_retry(RetryPolicy {
+                max_retries: 1,
+                ..RetryPolicy::default()
+            })
+            .with_placement(PlacementKind::BestFit)
+            .with_kill(SimTime::from_secs(10), 1)
+            .with_calibration(Duration::from_secs(3))
+            .with_measure(false)
+            .with_threads(8)
+            .with_fidelity(FidelityMode::Analytic)
+            .with_first_node_id(16)
+            .with_obs(true);
+        assert_eq!(format!("{built:?}"), format!("{legacy:?}"));
     }
 }

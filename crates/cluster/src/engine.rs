@@ -28,12 +28,19 @@
 //! [`ClusterReport::to_text`] is byte-identical across `threads` values —
 //! scripts/ci.sh pins this with a `cmp` differential.
 
-use odr_fleet::{run_outcomes, session_seed, uncontended_coefficients, FleetReport};
+use std::collections::BTreeMap;
+
+use odr_core::FidelityMode;
+use odr_fleet::{
+    run_outcomes, session_seed, uncontended_coefficients, FleetReport, SessionClass,
+    SessionOutcome, CALIBRATION_SESSIONS,
+};
 use odr_memsim::MemoryParams;
+use odr_metrics::Cdf;
 use odr_obs::{names, track, Event, ObsReport, Recorder, RingRecorder, NULL_RECORDER};
 use odr_pipeline::ExperimentConfig;
 use odr_simtime::time::duration_nanos;
-use odr_simtime::{Duration, EventQueue, SimTime};
+use odr_simtime::{Duration, EventQueue, Rng, SimTime};
 
 use crate::churn::{generate_arrivals, Arrival};
 use crate::config::ClusterConfig;
@@ -51,6 +58,11 @@ const MEASURE_WARMUP: Duration = Duration::from_secs(1);
 /// Session-index offset of the calibration runs' seeds, far above any
 /// real session index (churn caps at [`crate::ChurnConfig::max_sessions`]).
 const CALIBRATION_INDEX: u32 = 0xC000_0000;
+
+/// RNG stream id for analytic measurement draws; distinct from every
+/// stream the pipeline DES forks so synthesised samples can never alias
+/// a FullDes sequence.
+const ANALYTIC_STREAM: u64 = 0xA11C;
 
 /// Everything one cluster simulation produced.
 #[derive(Clone, Debug)]
@@ -142,7 +154,7 @@ pub fn run_cluster(cfg: &ClusterConfig) -> ClusterRun {
     let recorder: &dyn Recorder = if cfg.obs { &ring } else { &NULL_RECORDER };
 
     // Phase 1: calibrate each policy class on a dedicated server.
-    let loads = calibrate(cfg, &mem);
+    let (loads, cal_outcomes) = calibrate(cfg, &mem);
 
     // Phase 2: the serial control-plane DES.
     let end = SimTime::ZERO + cfg.horizon;
@@ -484,9 +496,10 @@ pub fn run_cluster(cfg: &ClusterConfig) -> ClusterRun {
         })
         .collect();
 
-    // Phase 3: re-run measurable spans as real pipeline DES sub-fleets.
+    // Phase 3: re-run measurable spans as real pipeline DES sub-fleets
+    // (or resample them from calibration in analytic mode).
     let (node_fleets, measured) = if cfg.measure {
-        measure(cfg, &mut report, &nodes, &mut spans)
+        measure(cfg, &mut report, &nodes, &mut spans, &cal_outcomes)
     } else {
         (Vec::new(), FleetReport::reduce(cfg.label(), &[]))
     };
@@ -503,26 +516,49 @@ pub fn run_cluster(cfg: &ClusterConfig) -> ClusterRun {
     }
 }
 
-/// Runs one dedicated-server DES per policy class and extracts each
-/// class's calibrated [`SessionLoad`].
-fn calibrate(cfg: &ClusterConfig, mem: &MemoryParams) -> Vec<SessionLoad> {
-    let configs: Vec<ExperimentConfig> = cfg
+/// Runs one dedicated-server DES per *distinct session class* in the mix
+/// and extracts each policy choice's calibrated [`SessionLoad`] plus the
+/// full calibration outcome (the analytic measurement phase resamples
+/// it).
+///
+/// Calibration is memoised by [`SessionClass`]: two mix entries whose
+/// sessions differ only by seed share one calibration run (the first
+/// occurrence's). Mixes without duplicate classes — every mix the CI
+/// differentials pin — calibrate exactly as before, byte for byte.
+///
+/// Under [`FidelityMode::Analytic`] the *measurement* sketch of each
+/// class is additionally pooled over [`CALIBRATION_SESSIONS`] seeds:
+/// the synthetic spans resample these sketches, and a single seed's
+/// run-to-run variance (±30% on mean MtP at short calibrations) would
+/// otherwise become a systematic bias across every span of the class.
+/// The admission loads always come from the first, single-seed run, so
+/// the control plane stays identical in both modes.
+fn calibrate(cfg: &ClusterConfig, mem: &MemoryParams) -> (Vec<SessionLoad>, Vec<SessionOutcome>) {
+    let mut class_slots: BTreeMap<SessionClass, usize> = BTreeMap::new();
+    let mut unique_configs: Vec<ExperimentConfig> = Vec::new();
+    let slot_of_choice: Vec<usize> = cfg
         .churn
         .mix
         .choices()
         .iter()
         .enumerate()
         .map(|(i, choice)| {
-            ExperimentConfig::builder(cfg.scenario, choice.spec)
+            let config = ExperimentConfig::builder(cfg.scenario, choice.spec)
                 .duration(cfg.calibration)
                 .seed(session_seed(cfg.seed, CALIBRATION_INDEX + i as u32))
                 .obs(cfg.obs)
-                .build()
+                .build();
+            *class_slots.entry(SessionClass::of(&config)).or_insert_with(|| {
+                unique_configs.push(config);
+                unique_configs.len() - 1
+            })
         })
         .collect();
-    run_outcomes(&configs, cfg.threads)
+    let outcomes = run_outcomes(&unique_configs, cfg.sim.threads);
+    let loads = slot_of_choice
         .iter()
-        .map(|o| {
+        .map(|&slot| {
+            let o = &outcomes[slot];
             let load = SessionLoad {
                 coeffs: uncontended_coefficients(mem, o.utilisation),
                 fps: o.client_fps,
@@ -534,17 +570,86 @@ fn calibrate(cfg: &ClusterConfig, mem: &MemoryParams) -> Vec<SessionLoad> {
             );
             load
         })
-        .collect()
+        .collect();
+    let sketches: Vec<SessionOutcome> = match cfg.sim.fidelity {
+        FidelityMode::FullDes => outcomes,
+        FidelityMode::Analytic => {
+            let extra_per_class = CALIBRATION_SESSIONS as usize - 1;
+            let extra_configs: Vec<ExperimentConfig> = unique_configs
+                .iter()
+                .flat_map(|c| {
+                    (1..CALIBRATION_SESSIONS).map(|j| c.with_seed(session_seed(c.seed, j)))
+                })
+                .collect();
+            let extra = run_outcomes(&extra_configs, cfg.sim.threads);
+            outcomes
+                .iter()
+                .enumerate()
+                .map(|(slot, first)| {
+                    let mine = &extra[slot * extra_per_class..(slot + 1) * extra_per_class];
+                    pool_calibrations(first, mine)
+                })
+                .collect()
+        }
+    };
+    let per_choice = slot_of_choice
+        .iter()
+        .map(|&slot| sketches[slot].clone())
+        .collect();
+    (loads, per_choice)
+}
+
+/// Pools one class's calibration runs into a single outcome: QoS
+/// sketches become the exact multiset union, scalar summaries the mean
+/// over runs. Identity (`index`, `seed`) stays the first run's.
+fn pool_calibrations(first: &SessionOutcome, rest: &[SessionOutcome]) -> SessionOutcome {
+    let n = (1 + rest.len()) as f64;
+    let all = std::iter::once(first).chain(rest);
+    let mean = |f: &dyn Fn(&SessionOutcome) -> f64| all.clone().map(f).sum::<f64>() / n;
+    let mean_count =
+        |f: &dyn Fn(&SessionOutcome) -> u64| (all.clone().map(f).sum::<u64>() as f64 / n).round() as u64;
+    let mut utilisation = [0.0; 4];
+    for o in all.clone() {
+        for (acc, u) in utilisation.iter_mut().zip(o.utilisation) {
+            *acc += u / n;
+        }
+    }
+    SessionOutcome {
+        index: first.index,
+        seed: first.seed,
+        fps_cdf: rest.iter().fold(first.fps_cdf.clone(), |acc, o| acc.merge(&o.fps_cdf)),
+        mtp_cdf: rest.iter().fold(first.mtp_cdf.clone(), |acc, o| acc.merge(&o.mtp_cdf)),
+        client_fps: mean(&|o| o.client_fps),
+        mtp_mean_ms: mean(&|o| o.mtp_mean_ms),
+        power_w: mean(&|o| o.power_w),
+        energy_j: mean(&|o| o.energy_j),
+        target_satisfaction: mean(&|o| o.target_satisfaction),
+        utilisation,
+        frames_rendered: mean_count(&|o| o.frames_rendered),
+        frames_displayed: mean_count(&|o| o.frames_displayed),
+        frames_dropped: mean_count(&|o| o.frames_dropped),
+        priority_frames: mean_count(&|o| o.priority_frames),
+        inputs: mean_count(&|o| o.inputs),
+        obs: Default::default(),
+    }
 }
 
 /// Re-runs measurable spans through the pipeline DES, one sub-fleet per
 /// node, and folds the results into the cluster report. Returns the
 /// per-node fleet reports (node-id order) and their merge.
+///
+/// Under [`FidelityMode::Analytic`] no span DES runs: each span's
+/// outcome is synthesized by resampling that policy's calibration
+/// outcome under the span's own seed (see [`synthesize_outcome`]). The
+/// control plane — and therefore every admission/placement count in the
+/// report — is identical in both modes; only the measured QoS sketches
+/// trade DES fidelity for speed.
 fn measure(
     cfg: &ClusterConfig,
     report: &mut ClusterReport,
     nodes: &[Node],
     spans: &mut Vec<Span>,
+    cal_outcomes: &[SessionOutcome],
 ) -> (Vec<FleetReport>, FleetReport) {
     // Canonical order: by node, then session, then span ordinal. The
     // control loop closes spans in event order; sorting makes the
@@ -553,6 +658,7 @@ fn measure(
     spans.sort_by_key(|s| (s.node, s.session, s.ordinal));
     let mut configs: Vec<ExperimentConfig> = Vec::new();
     let mut owners: Vec<usize> = Vec::new();
+    let mut policies: Vec<usize> = Vec::new();
     for span in spans.iter() {
         if span.len < MIN_MEASURED_SPAN {
             report.measured_skipped += 1;
@@ -572,8 +678,23 @@ fn measure(
                 .build(),
         );
         owners.push(span.node);
+        policies.push(span.policy);
     }
-    let outcomes = run_outcomes(&configs, cfg.threads);
+    let outcomes = match cfg.sim.fidelity {
+        FidelityMode::FullDes => run_outcomes(&configs, cfg.sim.threads),
+        FidelityMode::Analytic => configs
+            .iter()
+            .enumerate()
+            .map(|(i, config)| {
+                synthesize_outcome(
+                    i as u32,
+                    config,
+                    &cal_outcomes[policies[i]],
+                    cfg.calibration.as_secs_f64(),
+                )
+            })
+            .collect(),
+    };
     let mut node_fleets: Vec<FleetReport> = Vec::with_capacity(nodes.len());
     for (i, node) in nodes.iter().enumerate() {
         let mine: Vec<odr_fleet::SessionOutcome> = outcomes
@@ -607,6 +728,63 @@ fn measure(
     report.measured_mtp_cdf = measured.mtp_cdf.clone();
     report.measured_energy_cdf = measured.energy_cdf.clone();
     (node_fleets, measured)
+}
+
+/// Synthesizes one measured-span outcome from its policy's calibration
+/// outcome, for [`FidelityMode::Analytic`] runs.
+///
+/// The calibration DES measured this policy class for
+/// `cal_secs` seconds; the span lasts `config.duration`. Rates (window
+/// count, input count, frame counts) scale linearly with the span
+/// length, while the QoS *distributions* are resampled from the
+/// calibrated sketches under the span's own seed — stream
+/// [`ANALYTIC_STREAM`], which no pipeline DES ever forks — so repeated
+/// spans of one session stay distinct and the whole phase is a serial,
+/// thread-count-independent loop.
+fn synthesize_outcome(
+    index: u32,
+    config: &ExperimentConfig,
+    cal: &SessionOutcome,
+    cal_secs: f64,
+) -> SessionOutcome {
+    let secs = config.duration.as_secs_f64();
+    let scale = if cal_secs > 0.0 { secs / cal_secs } else { 0.0 };
+    let count = |per_cal: u64| -> usize { (per_cal as f64 * scale).round() as usize };
+    // The calibrated sketches pool CALIBRATION_SESSIONS runs (see
+    // `calibrate`), so one run's sample rate is len / CALIBRATION_SESSIONS.
+    let per_run =
+        |cdf: &Cdf| -> usize { count(cdf.len() as u64 / u64::from(CALIBRATION_SESSIONS)) };
+    let mut rng = Rng::new(config.seed).fork(ANALYTIC_STREAM);
+    let mut draw = |cdf: &Cdf, n: usize| -> Vec<f64> {
+        (0..n).map(|_| cdf.quantile(rng.next_f64())).collect()
+    };
+    let fps_samples = draw(&cal.fps_cdf, per_run(&cal.fps_cdf).max(1));
+    let mtp_samples = draw(&cal.mtp_cdf, per_run(&cal.mtp_cdf));
+    let mean = |samples: &[f64], fallback: f64| -> f64 {
+        if samples.is_empty() {
+            fallback
+        } else {
+            samples.iter().sum::<f64>() / samples.len() as f64
+        }
+    };
+    SessionOutcome {
+        index,
+        seed: config.seed,
+        client_fps: mean(&fps_samples, cal.client_fps),
+        mtp_mean_ms: mean(&mtp_samples, cal.mtp_mean_ms),
+        fps_cdf: Cdf::from_samples(fps_samples),
+        mtp_cdf: Cdf::from_samples(mtp_samples),
+        power_w: cal.power_w,
+        energy_j: cal.power_w * secs,
+        target_satisfaction: cal.target_satisfaction,
+        utilisation: cal.utilisation,
+        frames_rendered: count(cal.frames_rendered) as u64,
+        frames_displayed: count(cal.frames_displayed) as u64,
+        frames_dropped: count(cal.frames_dropped) as u64,
+        priority_frames: count(cal.priority_frames) as u64,
+        inputs: count(cal.inputs) as u64,
+        obs: Default::default(),
+    }
 }
 
 /// Sanity-checks the conservation identities every run must satisfy.
@@ -647,11 +825,13 @@ mod tests {
             PolicyMix::uniform(RegulationSpec::odr(FpsGoal::Target(60.0))),
         )
         .with_mean_session(Duration::from_secs(8));
-        ClusterConfig::new(scenario(), 2, churn)
-            .with_horizon(Duration::from_secs(20))
-            .with_calibration(Duration::from_secs(2))
-            .with_seed(42)
-            .with_measure(false)
+        ClusterConfig::builder(scenario(), churn)
+            .nodes(2)
+            .horizon(Duration::from_secs(20))
+            .calibration(Duration::from_secs(2))
+            .seed(42)
+            .measure(false)
+            .build()
     }
 
     #[test]
@@ -760,4 +940,64 @@ mod tests {
         }
     }
 
+    /// The analytic mode shares the FullDes control plane, so every
+    /// admission/placement/failure count must be *equal*, not merely
+    /// close — only the measured QoS sketches may differ.
+    #[test]
+    fn analytic_control_plane_matches_full_des_exactly() {
+        let cfg = small_cfg().with_measure(true);
+        let full = run_cluster(&cfg.clone());
+        let fast = run_cluster(&cfg.with_fidelity(FidelityMode::Analytic));
+        let (f, a) = (&full.report, &fast.report);
+        assert_eq!(f.arrivals, a.arrivals);
+        assert_eq!(f.admitted, a.admitted);
+        assert_eq!(f.shed, a.shed);
+        assert_eq!(f.completed, a.completed);
+        assert_eq!(f.active_at_end, a.active_at_end);
+        assert_eq!(f.measured_sessions, a.measured_sessions);
+        assert_eq!(f.measured_skipped, a.measured_skipped);
+        assert_eq!(f.served_ns, a.served_ns);
+        assert_eq!(f.goodput_ns, a.goodput_ns);
+        assert_eq!(f.wait_ms_cdf.len(), a.wait_ms_cdf.len());
+        assert_conservation(a);
+    }
+
+    /// Analytic measurement tracks the DES it replaces: mean measured
+    /// FPS within 5% and power within 5% (both phases draw from the same
+    /// calibrated class; only sampling noise separates them).
+    #[test]
+    fn analytic_measurement_tracks_full_des() {
+        let cfg = small_cfg().with_measure(true);
+        let full = run_cluster(&cfg.clone());
+        let fast = run_cluster(&cfg.with_fidelity(FidelityMode::Analytic));
+        assert_eq!(full.measured.sessions, fast.measured.sessions);
+        assert!(full.measured.sessions > 0, "need measurable spans");
+        let rel = |x: f64, y: f64| (x - y).abs() / y.abs().max(1e-12);
+        assert!(
+            rel(fast.measured.fps_cdf.quantile(0.5), full.measured.fps_cdf.quantile(0.5)) < 0.05,
+            "median measured fps {} vs {}",
+            fast.measured.fps_cdf.quantile(0.5),
+            full.measured.fps_cdf.quantile(0.5)
+        );
+        assert!(
+            rel(fast.measured.total_power_w, full.measured.total_power_w) < 0.05,
+            "measured power {} vs {}",
+            fast.measured.total_power_w,
+            full.measured.total_power_w
+        );
+    }
+
+    /// The analytic measurement loop is serial, so its report — like the
+    /// FullDes one — must be byte-identical across worker-thread counts
+    /// (threads only parallelise calibration in this mode).
+    #[test]
+    fn analytic_threads_do_not_change_bytes() {
+        let cfg = small_cfg()
+            .with_measure(true)
+            .with_fidelity(FidelityMode::Analytic);
+        let t1 = run_cluster(&cfg.clone().with_threads(1));
+        let t8 = run_cluster(&cfg.with_threads(8));
+        assert_eq!(t1.report.to_text(), t8.report.to_text());
+        assert_eq!(t1.measured.to_text(), t8.measured.to_text());
+    }
 }

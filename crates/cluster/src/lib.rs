@@ -47,10 +47,12 @@
 //! let scenario = Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud);
 //! let churn = ChurnConfig::new(0.5, PolicyMix::uniform(RegulationSpec::odr(FpsGoal::Target(60.0))))
 //!     .with_mean_session(Duration::from_secs(10));
-//! let cfg = ClusterConfig::new(scenario, 2, churn)
-//!     .with_horizon(Duration::from_secs(15))
-//!     .with_calibration(Duration::from_secs(2))
-//!     .with_measure(false);
+//! let cfg = ClusterConfig::builder(scenario, churn)
+//!     .nodes(2)
+//!     .horizon(Duration::from_secs(15))
+//!     .calibration(Duration::from_secs(2))
+//!     .measure(false)
+//!     .build();
 //! let run = run_cluster(&cfg);
 //! assert_eq!(run.report.nodes, 2);
 //! assert_eq!(
@@ -68,7 +70,8 @@ pub mod report;
 
 pub use churn::{generate_arrivals, Arrival};
 pub use config::{
-    ChurnConfig, ClusterConfig, NodeKill, PlacementKind, PolicyChoice, PolicyMix, RetryPolicy, Slo,
+    ChurnConfig, ClusterConfig, ClusterConfigBuilder, NodeKill, PlacementKind, PolicyChoice,
+    PolicyMix, RetryPolicy, Slo,
 };
 pub use engine::{assert_conservation, run_cluster, ClusterRun, MIN_MEASURED_SPAN};
 pub use node::{Node, NodeState, Resident, SessionLoad};

@@ -8,9 +8,9 @@
 
 use odr_cluster::{
     assert_conservation, run_cluster, ChurnConfig, ClusterConfig, ClusterReport, PlacementKind,
-    PolicyMix,
+    PolicyChoice, PolicyMix,
 };
-use odr_core::{FpsGoal, RegulationSpec};
+use odr_core::{FidelityMode, FpsGoal, RegulationSpec};
 use odr_simtime::Duration;
 use odr_workload::{Benchmark, Platform, Resolution, Scenario};
 use proptest::prelude::*;
@@ -35,12 +35,14 @@ fn small_cfg(seed: u64, nodes: u32, rate: f64, place: PlacementKind) -> ClusterC
         PolicyMix::uniform(RegulationSpec::odr(FpsGoal::Target(60.0))),
     )
     .with_mean_session(Duration::from_secs(6));
-    ClusterConfig::new(scenario(), nodes, churn)
-        .with_horizon(Duration::from_secs(12))
-        .with_calibration(Duration::from_secs(1))
-        .with_seed(seed)
-        .with_measure(false)
-        .with_placement(place)
+    ClusterConfig::builder(scenario(), churn)
+        .nodes(nodes)
+        .horizon(Duration::from_secs(12))
+        .calibration(Duration::from_secs(1))
+        .seed(seed)
+        .measure(false)
+        .placement(place)
+        .build()
 }
 
 /// A shard whose node ids are disjoint from every other `shard(i)`.
@@ -88,5 +90,73 @@ proptest! {
         let left = a.merge(&b).merge(&c);
         let right = a.merge(&b.merge(&c));
         prop_assert_eq!(left.to_text(), right.to_text());
+    }
+
+    /// Differential check across random policy mixes: the analytic
+    /// fidelity shares the FullDes control plane, so its admission
+    /// counts must be *equal*, and its synthetic measurement must track
+    /// the span DES it replaces — median measured FPS within 10% and
+    /// median MtP within 30% (documented in DESIGN.md §14; the analytic
+    /// draws resample the same calibrated class, so only sampling noise
+    /// over a handful of short spans separates the two).
+    #[test]
+    fn analytic_matches_full_des_across_mixes(
+        seed in any::<u64>(),
+        picks in prop::collection::vec((0usize..5, 1u64..4), 1..4),
+    ) {
+        let specs = [
+            RegulationSpec::odr(FpsGoal::Target(60.0)),
+            RegulationSpec::odr(FpsGoal::Target(30.0)),
+            RegulationSpec::odr(FpsGoal::Max),
+            RegulationSpec::Interval(FpsGoal::Target(60.0)),
+            RegulationSpec::NoReg,
+        ];
+        // Duplicate picks are welcome: they give the mix repeated
+        // session classes and exercise the calibration memoisation.
+        let mix = PolicyMix::new(
+            picks
+                .iter()
+                .map(|&(i, weight)| PolicyChoice { spec: specs[i], weight })
+                .collect(),
+        );
+        let churn = ChurnConfig::new(0.9, mix).with_mean_session(Duration::from_secs(6));
+        // Calibration runs 3 s (not the 1 s the byte-identity tests
+        // use): the MtP sketch needs enough input samples that the
+        // analytic resampling comparison below measures fidelity, not
+        // calibration noise.
+        let cfg = ClusterConfig::builder(scenario(), churn)
+            .nodes(2)
+            .horizon(Duration::from_secs(12))
+            .calibration(Duration::from_secs(3))
+            .seed(seed)
+            .build();
+        let full = run_cluster(&cfg.clone());
+        let fast = run_cluster(&cfg.with_fidelity(FidelityMode::Analytic));
+        assert_conservation(&fast.report);
+        prop_assert_eq!(full.report.arrivals, fast.report.arrivals);
+        prop_assert_eq!(full.report.admitted, fast.report.admitted);
+        prop_assert_eq!(full.report.shed, fast.report.shed);
+        prop_assert_eq!(full.report.measured_sessions, fast.report.measured_sessions);
+        prop_assert_eq!(full.measured.sessions, fast.measured.sessions);
+        if full.measured.sessions > 0 {
+            let rel = |x: f64, y: f64| (x - y).abs() / y.abs().max(1e-12);
+            let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+            let span_fps = |r: &odr_fleet::FleetReport| {
+                mean(&r.per_session.iter().map(|s| s.client_fps).collect::<Vec<_>>())
+            };
+            let span_mtp = |r: &odr_fleet::FleetReport| {
+                mean(&r.per_session.iter().map(|s| s.mtp_mean_ms).collect::<Vec<_>>())
+            };
+            let (f_fps, a_fps) = (span_fps(&full.measured), span_fps(&fast.measured));
+            prop_assert!(
+                rel(a_fps, f_fps) < 0.10,
+                "mean measured fps {} vs {}", a_fps, f_fps
+            );
+            let (f_mtp, a_mtp) = (span_mtp(&full.measured), span_mtp(&fast.measured));
+            prop_assert!(
+                rel(a_mtp, f_mtp) < 0.30,
+                "mean measured mtp {} vs {}", a_mtp, f_mtp
+            );
+        }
     }
 }

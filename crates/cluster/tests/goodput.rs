@@ -12,15 +12,16 @@ use odr_workload::{Benchmark, Platform, Resolution, Scenario};
 
 fn pool(spec: RegulationSpec) -> ClusterConfig {
     let churn = ChurnConfig::new(1.0, PolicyMix::uniform(spec));
-    ClusterConfig::new(
+    ClusterConfig::builder(
         Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud),
-        4,
         churn,
     )
-    .with_horizon(Duration::from_secs(120))
-    .with_calibration(Duration::from_secs(5))
-    .with_seed(0xC10D_3D)
-    .with_measure(false)
+    .nodes(4)
+    .horizon(Duration::from_secs(120))
+    .calibration(Duration::from_secs(5))
+    .seed(0xC10D_3D)
+    .measure(false)
+    .build()
 }
 
 #[test]

@@ -1,0 +1,372 @@
+//! Arena-pooled event storage for the per-session DES.
+//!
+//! The fleet engine runs millions of short sessions; allocating a fresh
+//! `BinaryHeap` per session (and growing it per event) dominated the
+//! profile. This module replaces that with two pieces:
+//!
+//! * [`EventArena`] — a slab that owns every in-flight event payload and
+//!   recycles slots through a free list, so steady-state operation does
+//!   not touch the allocator at all;
+//! * [`SlabEventQueue`] — a binary min-heap of `(time, seq, slot)`
+//!   triples over the arena. Heap entries are 24 bytes and `Copy`, so
+//!   sift operations move indices, never payloads.
+//!
+//! The queue's ordering contract is **identical** to
+//! [`odr_simtime::EventQueue`]: events pop in ascending `(time, seq)`
+//! order where `seq` is the insertion sequence number, i.e. same-time
+//! events pop FIFO. Because `seq` is unique per push, the pop order is a
+//! total order independent of the heap's internal layout — swapping one
+//! queue implementation for the other cannot change a simulation by a
+//! single byte.
+//!
+//! [`SlabEventQueue::reset`] returns the queue to its freshly-constructed
+//! state while keeping every allocation, which is what lets a fleet
+//! worker reuse one queue across its whole session batch.
+
+use odr_simtime::SimTime;
+
+/// A slab allocator for event payloads: stable `u32` slots, recycled
+/// through an internal free list.
+///
+/// `insert` returns the slot index; `take` vacates it and pushes the slot
+/// onto the free list for the next insert. Slots are reused LIFO, which
+/// keeps the hot working set small and cache-resident.
+#[derive(Debug)]
+pub struct EventArena<E> {
+    slots: Vec<Option<E>>,
+    free: Vec<u32>,
+}
+
+impl<E> EventArena<E> {
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        EventArena {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Stores `event` and returns its slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` events are simultaneously live.
+    pub fn insert(&mut self, event: E) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(event);
+                slot
+            }
+            None => {
+                let Ok(slot) = u32::try_from(self.slots.len()) else {
+                    panic!("event arena overflow");
+                };
+                self.slots.push(Some(event));
+                slot
+            }
+        }
+    }
+
+    /// Removes and returns the event at `slot`, recycling the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is vacant (a double-take is always a logic bug).
+    pub fn take(&mut self, slot: u32) -> E {
+        let Some(event) = self.slots[slot as usize].take() else {
+            panic!("event arena slot taken twice");
+        };
+        self.free.push(slot);
+        event
+    }
+
+    /// Number of live (occupied) slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Returns `true` if no slot is occupied.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Vacates every slot while keeping the backing allocations.
+    pub fn reset(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+    }
+}
+
+impl<E> Default for EventArena<E> {
+    fn default() -> Self {
+        EventArena::new()
+    }
+}
+
+/// A heap entry: fire time, tie-breaking sequence number, arena slot.
+///
+/// Ordering key is `(time, seq)` ascending — seq is unique, so the key is
+/// too, and pop order is a total order.
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl HeapEntry {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
+/// A discrete-event queue with the exact pop order of
+/// [`odr_simtime::EventQueue`] — ascending `(time, insertion seq)` — but
+/// backed by an [`EventArena`] and an index min-heap instead of a
+/// `BinaryHeap` of payload-carrying entries.
+///
+/// # Examples
+///
+/// ```
+/// use odr_core::SlabEventQueue;
+/// use odr_simtime::SimTime;
+///
+/// let mut q = SlabEventQueue::new();
+/// q.push(SimTime::from_nanos(20), "late");
+/// q.push(SimTime::from_nanos(10), "early");
+/// q.push(SimTime::from_nanos(10), "early-second");
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "early-second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct SlabEventQueue<E> {
+    arena: EventArena<E>,
+    heap: Vec<HeapEntry>,
+    next_seq: u64,
+}
+
+impl<E> SlabEventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        SlabEventQueue {
+            arena: EventArena::new(),
+            heap: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let slot = self.arena.insert(event);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { time, seq, slot });
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        let entry = self.heap.pop()?;
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some((entry.time, self.arena.take(entry.slot)))
+    }
+
+    /// Returns the fire time of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|e| e.time)
+    }
+
+    /// Returns the number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Returns the queue to its freshly-constructed state — empty, seq
+    /// counter at zero — while keeping the heap and arena allocations.
+    ///
+    /// This is the session-reuse hook: after `reset` the queue is
+    /// indistinguishable from `SlabEventQueue::new()` to any caller, so a
+    /// simulation run on a recycled queue produces bit-identical results.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.arena.reset();
+        self.next_seq = 0;
+    }
+
+    fn sift_up(&mut self, mut child: usize) {
+        while child > 0 {
+            let parent = (child - 1) / 2;
+            if self.heap[child].key() < self.heap[parent].key() {
+                self.heap.swap(child, parent);
+                child = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut parent: usize) {
+        loop {
+            let left = 2 * parent + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let smallest_child =
+                if right < self.heap.len() && self.heap[right].key() < self.heap[left].key() {
+                    right
+                } else {
+                    left
+                };
+            if self.heap[smallest_child].key() < self.heap[parent].key() {
+                self.heap.swap(parent, smallest_child);
+                parent = smallest_child;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl<E> Default for SlabEventQueue<E> {
+    fn default() -> Self {
+        SlabEventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odr_simtime::EventQueue;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = SlabEventQueue::new();
+        q.push(SimTime::from_nanos(5), 5);
+        q.push(SimTime::from_nanos(1), 1);
+        q.push(SimTime::from_nanos(3), 3);
+        let order: Vec<u64> = core::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = SlabEventQueue::new();
+        let t = SimTime::from_nanos(42);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = SlabEventQueue::new();
+        q.push(SimTime::from_nanos(9), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(9)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state_and_keeps_capacity() {
+        let mut q = SlabEventQueue::new();
+        for i in 0..64 {
+            q.push(SimTime::from_nanos(i), i);
+        }
+        for _ in 0..32 {
+            q.pop();
+        }
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        // After reset the observable behaviour matches a fresh queue.
+        q.push(SimTime::from_nanos(7), 1u64);
+        q.push(SimTime::from_nanos(7), 2u64);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(7), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(7), 2)));
+    }
+
+    #[test]
+    fn arena_recycles_slots() {
+        let mut a = EventArena::new();
+        let s0 = a.insert("a");
+        let s1 = a.insert("b");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.take(s0), "a");
+        // LIFO recycling: the vacated slot is handed right back.
+        let s2 = a.insert("c");
+        assert_eq!(s2, s0);
+        assert_eq!(a.take(s1), "b");
+        assert_eq!(a.take(s2), "c");
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = SlabEventQueue::new();
+        q.push(SimTime::from_nanos(10), "a");
+        q.push(SimTime::from_nanos(30), "c");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "a")));
+        q.push(SimTime::from_nanos(20), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(30), "c")));
+    }
+
+    /// Pseudo-random interleavings of pushes and pops must match the
+    /// reference `EventQueue` exactly — this is the contract the DES
+    /// relies on for byte-determinism.
+    #[test]
+    fn differential_against_reference_event_queue() {
+        let mut rng = odr_simtime::Rng::new(0xA13E_57AB);
+        let mut slab = SlabEventQueue::new();
+        let mut reference = EventQueue::new();
+        let mut payload = 0u64;
+        for round in 0..4 {
+            for _ in 0..500 {
+                if rng.next_f64() < 0.6 {
+                    let t = SimTime::from_nanos(rng.next_u64() % 1000);
+                    slab.push(t, payload);
+                    reference.push(t, payload);
+                    payload += 1;
+                } else {
+                    assert_eq!(slab.pop(), reference.pop());
+                }
+            }
+            while let Some(got) = slab.pop() {
+                assert_eq!(Some(got), reference.pop());
+            }
+            assert_eq!(reference.pop(), None);
+            // Round-robin reuse: a reset queue must stay equivalent to a
+            // fresh reference queue.
+            slab.reset();
+            reference = EventQueue::new();
+            let _ = round;
+        }
+    }
+}

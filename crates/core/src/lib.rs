@@ -30,11 +30,17 @@
 //! simulator (`odr-pipeline`) and the real-thread runtime (`odr-runtime`,
 //! via [`SyncQueue`]).
 
+/// Arena-pooled event storage: the slab-indexed event queue the fleet
+/// engine reuses across sessions instead of allocating per event.
+pub mod arena;
 /// The lock-free multi-buffer swap path: generation-counted slot
 /// exchange, step machines shared with the `odr-check` atomics model.
 pub mod atomic_swap;
 /// The unified [`error::OdrError`] every fallible crate boundary returns.
 pub mod error;
+/// Shared simulation entry-point options: [`options::FidelityMode`] and
+/// [`options::SimOptions`], embedded by every engine config.
+pub mod options;
 /// Interval-based frame pacers: the paper's fixed-interval baseline and
 /// its FPS-maximising adaptive variant.
 pub mod pacer;
@@ -57,8 +63,10 @@ pub mod swap;
 /// The blocking mutex/condvar driver around [`swap::SwapState`].
 pub mod sync_queue;
 
+pub use arena::{EventArena, SlabEventQueue};
 pub use atomic_swap::AtomicSwap;
 pub use error::{OdrError, OdrResult};
+pub use options::{FidelityMode, SimOptions};
 pub use pacer::{AdaptiveIntervalPacer, IntervalPacer};
 pub use priority::PriorityGate;
 pub use queue::{FrameQueue, Publish};

@@ -16,10 +16,12 @@
 //! cross-check. The per-k QoS columns (FPS/MtP/satisfaction) put
 //! measured quality next to each predicted operating point.
 
+use odr_core::{FidelityMode, SimOptions};
 use odr_memsim::MemoryParams;
 use odr_pipeline::colocation::{ColocationModel, ColocationResult, ServerCapacity};
 use odr_pipeline::ExperimentConfig;
 
+use crate::class::ClassCache;
 use crate::config::FleetConfig;
 use crate::engine::run_fleet;
 
@@ -56,12 +58,21 @@ pub struct CapacityPoint {
     pub satisfaction: f64,
 }
 
-/// Sweeps session counts `ks`, running a fleet DES at each k and
-/// evaluating the mean-field model beside it.
+/// Sweeps session counts `ks`, evaluating the mean-field model beside a
+/// DES-calibrated measurement at each k.
 ///
 /// `target_fps` parameterises the model (use the same target the
-/// `base` policy regulates to); `threads` sizes each fleet's worker
-/// pool and does not affect any reported number.
+/// `base` policy regulates to). `sim.threads` sizes each fleet's
+/// worker pool and does not affect any reported number. `sim.fidelity`
+/// selects how the DES side is obtained:
+///
+/// * [`FidelityMode::FullDes`] runs a complete k-session fleet DES per
+///   sweep point — every column is a fresh measurement;
+/// * [`FidelityMode::Analytic`] calibrates `base`'s class **once** (one
+///   small FullDes fleet, memoised in a [`ClassCache`]) and derives every
+///   sweep point from the calibration through the same co-location fixed
+///   point. The QoS columns are then class means — constant across k by
+///   construction — while the contention columns still vary with k.
 ///
 /// # Panics
 ///
@@ -73,31 +84,57 @@ pub fn capacity_curve(
     capacity: ServerCapacity,
     target_fps: f64,
     ks: &[u32],
-    threads: usize,
+    sim: SimOptions,
 ) -> Vec<CapacityPoint> {
     let model = ColocationModel::new(base.scenario, target_fps, capacity);
     let mem = base.scenario.memory_params();
-    ks.iter()
-        .map(|&k| {
-            let fleet = run_fleet(&FleetConfig::new(*base, k).with_threads(threads));
-            let n = f64::from(k.max(1));
-            let per_stage = fleet.busy.map(|b| b / n);
-            let (des_contended_streams, des_slowdown, contended) =
-                des_fixed_point(&mem, per_stage, f64::from(k));
-            CapacityPoint {
-                sessions: k,
-                model: model.evaluate(k),
-                des_streams: fleet.des_streams,
-                des_contended_streams,
-                des_slowdown,
-                des_gpu_load: f64::from(k) * contended[1] / capacity.gpu,
-                fleet_power_w: fleet.total_power_w,
-                mean_client_fps: fleet.per_session.iter().map(|s| s.client_fps).sum::<f64>() / n,
-                median_mtp_ms: fleet.mtp_cdf.quantile(0.5),
-                satisfaction: fleet.mean_satisfaction,
-            }
-        })
-        .collect()
+    match sim.fidelity {
+        FidelityMode::FullDes => ks
+            .iter()
+            .map(|&k| {
+                let fleet = run_fleet(&FleetConfig::new(*base, k).with_threads(sim.threads));
+                let n = f64::from(k.max(1));
+                let per_stage = fleet.busy.map(|b| b / n);
+                let (des_contended_streams, des_slowdown, contended) =
+                    des_fixed_point(&mem, per_stage, f64::from(k));
+                CapacityPoint {
+                    sessions: k,
+                    model: model.evaluate(k),
+                    des_streams: fleet.des_streams,
+                    des_contended_streams,
+                    des_slowdown,
+                    des_gpu_load: f64::from(k) * contended[1] / capacity.gpu,
+                    fleet_power_w: fleet.total_power_w,
+                    mean_client_fps: fleet.per_session.iter().map(|s| s.client_fps).sum::<f64>()
+                        / n,
+                    median_mtp_ms: fleet.mtp_cdf.quantile(0.5),
+                    satisfaction: fleet.mean_satisfaction,
+                }
+            })
+            .collect(),
+        FidelityMode::Analytic => {
+            let mut cache = ClassCache::new();
+            let cal = cache.calibrate(base, sim.threads);
+            ks.iter()
+                .map(|&k| {
+                    let (des_contended_streams, des_slowdown, contended) =
+                        des_fixed_point(&mem, cal.utilisation, f64::from(k));
+                    CapacityPoint {
+                        sessions: k,
+                        model: model.evaluate(k),
+                        des_streams: f64::from(k) * cal.utilisation.iter().sum::<f64>(),
+                        des_contended_streams,
+                        des_slowdown,
+                        des_gpu_load: f64::from(k) * contended[1] / capacity.gpu,
+                        fleet_power_w: f64::from(k) * cal.power_w,
+                        mean_client_fps: cal.client_fps,
+                        median_mtp_ms: cal.mtp_cdf.quantile(0.5),
+                        satisfaction: cal.target_satisfaction,
+                    }
+                })
+                .collect()
+        }
+    }
 }
 
 /// Re-solves the co-location fixed point from DES-measured busy

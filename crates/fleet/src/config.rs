@@ -1,5 +1,6 @@
 //! Fleet configuration and per-session seed derivation.
 
+use odr_core::{FidelityMode, SimOptions};
 use odr_pipeline::ExperimentConfig;
 
 /// Weyl-sequence increment from SplitMix64 (same constant
@@ -30,27 +31,31 @@ pub fn session_seed(base: u64, index: u32) -> u64 {
 ///
 /// Every session runs the same scenario, policy, duration and display
 /// mode as `base`; only the seed differs per session (derived with
-/// [`session_seed`]). `threads` sizes the worker pool and has **no**
-/// effect on any reported number — see the crate-level determinism
-/// contract.
+/// [`session_seed`]). `sim` carries the execution options: the worker
+/// pool size (no effect on any reported number — see the crate-level
+/// determinism contract) and the [`FidelityMode`] (FullDes measures
+/// every session; Analytic calibrates the session class once and
+/// replays the rest through the calibrated distributions).
 #[derive(Clone, Copy, Debug)]
 pub struct FleetConfig {
     /// Template configuration for every session.
     pub base: ExperimentConfig,
     /// Number of independent sessions to simulate.
     pub sessions: u32,
-    /// Worker threads (clamped to `1..=sessions` when the fleet runs).
-    pub threads: usize,
+    /// Execution options: fidelity mode and worker-pool size (threads
+    /// are clamped to `1..=sessions` when the fleet runs).
+    pub sim: SimOptions,
 }
 
 impl FleetConfig {
-    /// Creates a fleet of `sessions` copies of `base`, single-threaded.
+    /// Creates a fleet of `sessions` copies of `base` with default
+    /// execution options (FullDes, single-threaded).
     #[must_use]
     pub fn new(base: ExperimentConfig, sessions: u32) -> Self {
         FleetConfig {
             base,
             sessions,
-            threads: 1,
+            sim: SimOptions::new(),
         }
     }
 
@@ -82,14 +87,28 @@ impl FleetConfig {
         FleetConfigBuilder {
             base: ExperimentConfig::builder(scenario, spec),
             sessions: 1,
-            threads: 1,
+            sim: SimOptions::new(),
         }
     }
 
     /// Sets the worker-pool size.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+        self.sim.threads = threads;
+        self
+    }
+
+    /// Sets the fidelity mode.
+    #[must_use]
+    pub fn with_fidelity(mut self, fidelity: FidelityMode) -> Self {
+        self.sim.fidelity = fidelity;
+        self
+    }
+
+    /// Replaces the execution options wholesale.
+    #[must_use]
+    pub fn with_sim(mut self, sim: SimOptions) -> Self {
+        self.sim = sim;
         self
     }
 
@@ -103,7 +122,7 @@ impl FleetConfig {
     /// session.
     #[must_use]
     pub fn effective_threads(&self) -> usize {
-        self.threads.clamp(1, (self.sessions.max(1)) as usize)
+        self.sim.threads.clamp(1, (self.sessions.max(1)) as usize)
     }
 }
 
@@ -115,7 +134,7 @@ impl FleetConfig {
 pub struct FleetConfigBuilder {
     base: odr_pipeline::ExperimentConfigBuilder,
     sessions: u32,
-    threads: usize,
+    sim: SimOptions,
 }
 
 impl FleetConfigBuilder {
@@ -130,7 +149,14 @@ impl FleetConfigBuilder {
     /// `1..=sessions` when the fleet runs).
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+        self.sim.threads = threads;
+        self
+    }
+
+    /// Sets the fidelity mode (default: [`FidelityMode::FullDes`]).
+    #[must_use]
+    pub fn fidelity(mut self, fidelity: FidelityMode) -> Self {
+        self.sim.fidelity = fidelity;
         self
     }
 
@@ -150,7 +176,7 @@ impl FleetConfigBuilder {
         FleetConfig {
             base: self.base.build(),
             sessions: self.sessions,
-            threads: self.threads,
+            sim: self.sim,
         }
     }
 }
@@ -175,7 +201,8 @@ mod tests {
         let built = FleetConfig::builder(scenario, spec).build();
         let legacy = FleetConfig::new(ExperimentConfig::new(scenario, spec), 1);
         assert_eq!(built.sessions, legacy.sessions);
-        assert_eq!(built.threads, legacy.threads);
+        assert_eq!(built.sim, legacy.sim);
+        assert_eq!(built.sim.fidelity, FidelityMode::FullDes);
         assert_eq!(built.base.seed, legacy.base.seed);
         assert_eq!(built.base.duration, legacy.base.duration);
         assert_eq!(built.base.warmup, legacy.base.warmup);
@@ -187,10 +214,12 @@ mod tests {
         let fleet = FleetConfig::builder(scenario, RegulationSpec::NoReg)
             .sessions(6)
             .threads(3)
+            .fidelity(FidelityMode::Analytic)
             .base(|b| b.seed(11).obs(true))
             .build();
         assert_eq!(fleet.sessions, 6);
-        assert_eq!(fleet.threads, 3);
+        assert_eq!(fleet.sim.threads, 3);
+        assert_eq!(fleet.sim.fidelity, FidelityMode::Analytic);
         assert_eq!(fleet.base.seed, 11);
         assert!(fleet.base.obs);
     }

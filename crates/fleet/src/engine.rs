@@ -2,31 +2,44 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use odr_pipeline::{run_experiment, ExperimentConfig};
+use odr_core::FidelityMode;
+use odr_pipeline::{run_experiment_with, ExperimentConfig, SessionScratch};
 
+use crate::analytic::run_fleet_analytic;
 use crate::config::FleetConfig;
 use crate::report::{FleetReport, SessionOutcome};
 
-/// Simulates `cfg.sessions` independent sessions across
-/// `cfg.effective_threads()` workers and reduces them into one
-/// [`FleetReport`].
+/// Simulates `cfg.sessions` independent sessions and reduces them into
+/// one [`FleetReport`], dispatching on `cfg.sim.fidelity`.
 ///
-/// Workers claim session indices from a shared atomic counter (no work
-/// stealing, no locks); each runs its sessions to completion and hands
-/// back `(index, outcome)` pairs. After every worker joins, outcomes are
+/// In [`FidelityMode::FullDes`] every session runs the complete
+/// per-frame DES across `cfg.effective_threads()` workers: workers claim
+/// session indices from a shared atomic counter (no work stealing, no
+/// locks); each runs its sessions to completion and hands back
+/// `(index, outcome)` pairs. After every worker joins, outcomes are
 /// sorted by session index and folded in that order — the report is
 /// bit-identical for any thread count (see the crate-level determinism
 /// contract).
+///
+/// In [`FidelityMode::Analytic`] the session class is calibrated once
+/// with a small FullDes fleet and every session is replayed through the
+/// calibrated distributions (see [`crate::analytic`]); the report is
+/// aggregate-only (`per_session` stays empty) but equally deterministic.
 ///
 /// # Panics
 ///
 /// Re-raises any panic from a worker thread.
 #[must_use]
 pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
-    let configs: Vec<ExperimentConfig> =
-        (0..cfg.sessions).map(|i| cfg.session_config(i)).collect();
-    let outcomes = run_outcomes(&configs, cfg.effective_threads());
-    FleetReport::reduce(cfg.base.label(), &outcomes)
+    match cfg.sim.fidelity {
+        FidelityMode::FullDes => {
+            let configs: Vec<ExperimentConfig> =
+                (0..cfg.sessions).map(|i| cfg.session_config(i)).collect();
+            let outcomes = run_outcomes(&configs, cfg.effective_threads());
+            FleetReport::reduce(cfg.base.label(), &outcomes)
+        }
+        FidelityMode::Analytic => run_fleet_analytic(cfg),
+    }
 }
 
 /// Simulates one session per entry of `configs` — heterogeneous shapes
@@ -57,11 +70,12 @@ pub fn run_outcomes(configs: &[ExperimentConfig], threads: usize) -> Vec<Session
         // Keeps single-thread baselines (and 1-core hosts) free of
         // spawn/join overhead so serial-vs-parallel timings compare
         // the schedule, not the scaffolding.
+        let mut scratch = SessionScratch::new();
         return configs
             .iter()
             .enumerate()
             .map(|(index, session_cfg)| {
-                let report = run_experiment(session_cfg);
+                let report = run_experiment_with(session_cfg, &mut scratch);
                 SessionOutcome::from_report(index as u32, session_cfg, &report)
             })
             .collect();
@@ -74,6 +88,11 @@ pub fn run_outcomes(configs: &[ExperimentConfig], threads: usize) -> Vec<Session
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    // One scratch per worker, reset-and-reused across every
+                    // session this worker claims: the arena/lane capacities
+                    // stabilise after the first session and the allocator
+                    // drops out of the hot loop.
+                    let mut scratch = SessionScratch::new();
                     let mut mine = Vec::new();
                     loop {
                         let index = next.fetch_add(1, Ordering::Relaxed);
@@ -81,7 +100,7 @@ pub fn run_outcomes(configs: &[ExperimentConfig], threads: usize) -> Vec<Session
                             break;
                         }
                         let session_cfg = &configs[index as usize];
-                        let report = run_experiment(session_cfg);
+                        let report = run_experiment_with(session_cfg, &mut scratch);
                         mine.push(SessionOutcome::from_report(index, session_cfg, &report));
                     }
                     mine

@@ -8,8 +8,8 @@
 //! busy-fraction derivation against simulated execution (the analogue of
 //! the paper's Section 6.5 capacity argument).
 
-use odr_core::{FpsGoal, RegulationSpec};
-use odr_fleet::capacity_curve;
+use odr_core::{FidelityMode, FpsGoal, RegulationSpec, SimOptions};
+use odr_fleet::{capacity_curve, curve_to_text};
 use odr_pipeline::colocation::ServerCapacity;
 use odr_pipeline::ExperimentConfig;
 use odr_simtime::Duration;
@@ -27,7 +27,7 @@ fn model_tracks_the_fleet_des_at_k_1_2_4() {
     )
     .with_duration(Duration::from_secs(20));
     let capacity = ServerCapacity::default();
-    let curve = capacity_curve(&base, capacity, 60.0, &[1, 2, 4], 4);
+    let curve = capacity_curve(&base, capacity, 60.0, &[1, 2, 4], SimOptions::new().with_threads(4));
     assert_eq!(curve.len(), 3);
 
     for p in &curve {
@@ -114,7 +114,7 @@ fn model_tracks_the_fleet_des_at_k_8_16() {
     )
     .with_duration(Duration::from_secs(20));
     let capacity = ServerCapacity::default();
-    let curve = capacity_curve(&base, capacity, 60.0, &[8, 16], 8);
+    let curve = capacity_curve(&base, capacity, 60.0, &[8, 16], SimOptions::new().with_threads(8));
     assert_eq!(curve.len(), 2);
 
     for p in &curve {
@@ -158,4 +158,33 @@ fn model_tracks_the_fleet_des_at_k_8_16() {
         curve[1].des_streams,
         2.0 * curve[0].des_streams
     );
+}
+
+/// Golden pin of one analytic capacity curve: the analytic path
+/// calibrates the class once and derives every operating point in
+/// closed form, so its output is a pure function of the config — any
+/// byte drift here means the calibration, the class key, or the fixed
+/// point changed. Regenerate by printing
+/// `curve_to_text(&capacity_curve(...))` with the parameters below.
+#[test]
+fn analytic_capacity_curve_matches_golden() {
+    let base = ExperimentConfig::new(
+        Scenario::new(Benchmark::InMind, Resolution::R720p, Platform::PrivateCloud),
+        RegulationSpec::odr(FpsGoal::Target(60.0)),
+    )
+    .with_duration(Duration::from_secs(10));
+    let curve = capacity_curve(
+        &base,
+        ServerCapacity::default(),
+        60.0,
+        &[1, 4, 8],
+        SimOptions::new().with_fidelity(FidelityMode::Analytic),
+    );
+    let golden = concat!(
+        "  k model_streams   des_streams  model_sd    des_sd    power_w       fps    mtp_ms     feas\n",
+        "  1        1.0688        1.1839    1.0033    1.0092     170.52     60.00     20.39     true\n",
+        "  4        7.2942        9.4333    1.7117    2.0102     682.09     60.00     20.39    false\n",
+        "  8       26.1102       26.4601    4.3472    4.3938    1364.17     60.00     20.39    false\n",
+    );
+    assert_eq!(curve_to_text(&curve), golden);
 }

@@ -25,6 +25,7 @@ pub mod export;
 pub mod frame;
 pub mod local;
 pub mod report;
+pub mod scratch;
 pub mod sim;
 pub mod suite;
 pub mod timeline;
@@ -32,5 +33,6 @@ pub mod timeline;
 pub use config::{ClientDisplay, ExperimentConfig, ExperimentConfigBuilder};
 pub use frame::{Frame, FrameTrace};
 pub use report::Report;
-pub use sim::run_experiment;
+pub use scratch::SessionScratch;
+pub use sim::{run_experiment, run_experiment_with};
 pub use suite::{run_suite, SuiteResult};

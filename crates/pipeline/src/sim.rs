@@ -18,8 +18,6 @@
 //!   slowest stage). PriorityFrame cancels app waits and proxy sleeps and
 //!   flushes obsolete frames.
 
-use std::collections::VecDeque;
-
 use odr_core::{
     queue::FullPolicy, AdaptiveIntervalPacer, FpsGoal, FpsRegulator, FrameQueue, IntervalPacer,
     OdrOptions, PriorityGate, Publish, RegulationSpec, RvsRegulator,
@@ -28,14 +26,15 @@ use odr_memsim::{MemClient, MemoryModel};
 use odr_metrics::{FpsGap, Summary, WindowedRate};
 use odr_obs::{names, track, Event as ObsEvent, NullRecorder, ObsReport, Recorder, RingRecorder};
 use odr_netsim::Link;
-use odr_simtime::{Duration, EventQueue, Rng, SimTime};
+use odr_simtime::{Duration, Rng, SimTime};
 use odr_workload::{FrameModel, InputModel, Platform, Scenario};
 
 use crate::{
     config::{ClientDisplay, ExperimentConfig},
-    frame::{Frame, FrameTrace},
+    frame::FrameTrace,
     local,
     report::Report,
+    scratch::{FrameRef, SessionScratch},
 };
 
 /// Runs one experiment to completion and returns its report.
@@ -59,14 +58,26 @@ use crate::{
 /// ```
 #[must_use]
 pub fn run_experiment(cfg: &ExperimentConfig) -> Report {
+    run_experiment_with(cfg, &mut SessionScratch::new())
+}
+
+/// Runs one experiment reusing caller-owned scratch buffers.
+///
+/// Identical to [`run_experiment`] in every observable way — `scratch`
+/// is reset on entry, and a recycled scratch produces a bit-identical
+/// report — but steady-state fleet workers avoid re-allocating the event
+/// queue, frame lanes and metric buffers for every session.
+#[must_use]
+pub fn run_experiment_with(cfg: &ExperimentConfig, scratch: &mut SessionScratch) -> Report {
     if cfg.scenario.platform == Platform::NonCloud {
         return local::run_local(cfg);
     }
-    Sim::new(cfg).run()
+    scratch.reset();
+    Sim::new(cfg, scratch).run()
 }
 
 #[derive(Debug)]
-enum Event {
+pub(crate) enum Event {
     /// The app may evaluate pacing and start its next cycle.
     AppWake,
     /// The app's pacing delay elapsed: begin rendering.
@@ -86,10 +97,10 @@ enum Event {
     /// The ODR network sender finished serialising a frame.
     SenderWake,
     FrameArrived {
-        frame: Frame,
+        frame: FrameRef,
     },
     DecodeDone {
-        frame: Frame,
+        frame: FrameRef,
     },
     InputCreated,
     InputAtServer {
@@ -147,7 +158,7 @@ enum ProxyPhase {
 /// activity genuinely takes longer — Section 4.3's mechanism.
 #[derive(Clone, Copy, Debug)]
 struct Job {
-    frame: Frame,
+    frame: FrameRef,
     /// Base work left, in seconds.
     remaining: f64,
     /// Slowdown in effect since `last`.
@@ -266,17 +277,20 @@ impl Policy {
     }
 }
 
-struct Sim {
+struct Sim<'a> {
     cfg: ExperimentConfig,
     frame_model: FrameModel,
     input_model: InputModel,
     policy: Policy,
     regulator: FpsRegulator,
 
+    /// Worker-owned pooled state: event slab, frame lanes, decode queue,
+    /// input log, display intervals and trace rows.
+    scratch: &'a mut SessionScratch,
+
     now: SimTime,
     end: SimTime,
     warmup: SimTime,
-    events: EventQueue<Event>,
 
     rng_render: Rng,
     rng_copy: Rng,
@@ -288,9 +302,8 @@ struct Sim {
     // Application.
     app_state: AppState,
     gate: PriorityGate,
-    next_frame_id: u64,
     last_input_at_app: Option<u64>,
-    mul_buf1: FrameQueue<Frame>,
+    mul_buf1: FrameQueue<FrameRef>,
 
     // In-flight contention-coupled stage executions.
     render_job: Option<Job>,
@@ -301,8 +314,8 @@ struct Sim {
     proxy_state: ProxyState,
     proxy_gen: u64,
     proxy_cycle_start: SimTime,
-    parked_frame: Option<Frame>,
-    mul_buf2: FrameQueue<Frame>,
+    parked_frame: Option<FrameRef>,
+    mul_buf2: FrameQueue<FrameRef>,
 
     // Network.
     downlink: Link,
@@ -310,19 +323,16 @@ struct Sim {
     sender_busy: bool,
 
     // Client.
-    decode_queue: VecDeque<Frame>,
     decoding: bool,
     window_decodes: u64,
     last_display: Option<SimTime>,
-    display_intervals_ms: Vec<f64>,
     /// Frame awaiting its presentation slot (VSync/FreeSync only).
-    pending_present: Option<Frame>,
+    pending_present: Option<FrameRef>,
     present_scheduled: bool,
     display_drops: u64,
 
     // Inputs.
     next_input_id: u64,
-    input_created: Vec<SimTime>,
     answered_upto: u64,
 
     // Measurement.
@@ -334,7 +344,6 @@ struct Sim {
     mtp_ms: Summary,
     frames_rendered: u64,
     frames_displayed: u64,
-    traces: Vec<FrameTrace>,
 
     /// Observability sink: a ring recorder when `cfg.obs` is set, the
     /// no-op recorder otherwise (every emission site checks `enabled()`
@@ -342,8 +351,8 @@ struct Sim {
     recorder: Box<dyn Recorder>,
 }
 
-impl Sim {
-    fn new(cfg: &ExperimentConfig) -> Self {
+impl<'a> Sim<'a> {
+    fn new(cfg: &ExperimentConfig, scratch: &'a mut SessionScratch) -> Self {
         let scenario: Scenario = cfg.scenario;
         let frame_model = scenario.frame_model();
         let input_model = scenario.input_model();
@@ -372,10 +381,10 @@ impl Sim {
             frame_model,
             input_model,
             regulator,
+            scratch,
             now: SimTime::ZERO,
             end: SimTime::ZERO + cfg.total_time(),
             warmup: SimTime::ZERO + cfg.warmup,
-            events: EventQueue::new(),
             rng_render: root.fork(1),
             rng_copy: root.fork(2),
             rng_encode: root.fork(3),
@@ -387,7 +396,6 @@ impl Sim {
             proxy_job: None,
             job_gen: 0,
             gate: PriorityGate::new(),
-            next_frame_id: 0,
             last_input_at_app: None,
             mul_buf1: FrameQueue::new(policy.buf1_capacity, policy.buf1_policy),
             proxy_state: ProxyState::WaitingFrame,
@@ -398,16 +406,13 @@ impl Sim {
             downlink: Link::new(cfg.downlink(), root.fork(7)),
             uplink: Link::new(scenario.uplink(), root.fork(8)),
             sender_busy: false,
-            decode_queue: VecDeque::new(),
             decoding: false,
             window_decodes: 0,
             last_display: None,
-            display_intervals_ms: Vec::new(),
             pending_present: None,
             present_scheduled: false,
             display_drops: 0,
             next_input_id: 0,
-            input_created: Vec::new(),
             answered_upto: 0,
             mem,
             render_rate: WindowedRate::new(window),
@@ -417,7 +422,6 @@ impl Sim {
             mtp_ms: Summary::new(),
             frames_rendered: 0,
             frames_displayed: 0,
-            traces: Vec::new(),
             recorder: if cfg.obs {
                 Box::new(RingRecorder::default())
             } else {
@@ -441,19 +445,19 @@ impl Sim {
     }
 
     fn run(mut self) -> Report {
-        self.events.push(SimTime::ZERO, Event::AppWake);
+        self.scratch.events.push(SimTime::ZERO, Event::AppWake);
         let first_input = self
             .input_model
             .next_after(SimTime::ZERO, &mut self.rng_input);
-        self.events.push(first_input, Event::InputCreated);
+        self.scratch.events.push(first_input, Event::InputCreated);
         if self.policy.adaptive_pacer.is_some() {
-            self.events.push(
+            self.scratch.events.push(
                 SimTime::ZERO + Duration::from_millis(500),
                 Event::ClientFpsTick,
             );
         }
 
-        while let Some((t, event)) = self.events.pop() {
+        while let Some((t, event)) = self.scratch.events.pop() {
             if t > self.end {
                 break;
             }
@@ -506,7 +510,7 @@ impl Sim {
         let start = self.pacing_start();
         if start > self.now {
             self.app_state = AppState::WaitingDelay;
-            self.events.push(start, Event::AppStartRender);
+            self.scratch.events.push(start, Event::AppStartRender);
         } else {
             self.app_render_begin();
         }
@@ -536,37 +540,33 @@ impl Sim {
         } else {
             None
         };
-        let frame = Frame {
-            id: self.next_frame_id,
-            priority_input,
-            answers_upto: self.last_input_at_app,
-            render_start: self.now,
-            render_end: self.now,
-            proxy_start: self.now,
-            size: 0,
-        };
-        self.next_frame_id += 1;
+        let frame = self
+            .scratch
+            .lanes
+            .alloc(priority_input, self.last_input_at_app);
         self.app_state = AppState::Rendering;
         if self.cfg.trace {
-            self.traces.push(FrameTrace {
-                id: frame.id,
-                priority: frame.is_priority(),
+            let priority = self.scratch.lanes.is_priority(frame);
+            self.scratch.traces.push(FrameTrace {
+                id: frame.id(),
+                priority,
                 ..FrameTrace::default()
             });
         }
-        self.obs(ObsEvent::begin(self.obs_now(), track::APP, names::RENDER).with_id(frame.id));
+        self.obs(ObsEvent::begin(self.obs_now(), track::APP, names::RENDER).with_id(frame.id()));
         let base = self.frame_model.render.sample(&mut self.rng_render);
         self.set_mem(MemClient::AppLogic, true);
         self.set_mem(MemClient::Render, true);
         let job = self.new_job(frame, base);
-        self.events
+        self.scratch
+            .events
             .push(self.job_deadline(&job), Event::RenderDone { gen: job.gen });
         self.render_job = Some(job);
     }
 
     /// Creates a job for `base` seconds of work at the current contention
     /// level.
-    fn new_job(&mut self, frame: Frame, base: Duration) -> Job {
+    fn new_job(&mut self, frame: FrameRef, base: Duration) -> Job {
         self.job_gen += 1;
         Job {
             frame,
@@ -600,7 +600,7 @@ impl Sim {
             }
         }
         for (fire, event) in pending {
-            self.events.push(fire, event);
+            self.scratch.events.push(fire, event);
         }
     }
 
@@ -608,11 +608,11 @@ impl Sim {
         let Some(job) = self.render_job.take_if(|j| j.gen == gen) else {
             return; // Stale completion from before a re-plan.
         };
-        let mut frame = job.frame;
-        frame.render_end = self.now;
+        let frame = job.frame;
+        self.scratch.lanes.set_render_end(frame, self.now);
         let started = job.started;
-        self.obs(ObsEvent::end(self.obs_now(), track::APP, names::RENDER).with_id(frame.id));
-        self.trace_update(frame.id, |t, now| t.render = Some((started, now)));
+        self.obs(ObsEvent::end(self.obs_now(), track::APP, names::RENDER).with_id(frame.id()));
+        self.trace_update(frame.id(), |t, now| t.render = Some((started, now)));
         self.set_mem(MemClient::AppLogic, false);
         self.set_mem(MemClient::Render, false);
         if self.now >= self.warmup {
@@ -623,7 +623,8 @@ impl Sim {
         }
 
         // Publish into Mul-Buf1.
-        if frame.is_priority() {
+        let is_priority = self.scratch.lanes.is_priority(frame);
+        if is_priority {
             // PriorityFrame: unsent frames rendered earlier are obsolete.
             self.flush_buf1_obsolete();
             let stored = matches!(self.mul_buf1.publish(frame), Publish::Stored);
@@ -631,7 +632,7 @@ impl Sim {
         } else {
             match self.mul_buf1.publish(frame) {
                 Publish::Stored => {}
-                Publish::ReplacedNewest => self.mark_dropped_newest_before(frame.id),
+                Publish::ReplacedNewest => self.mark_dropped_newest_before(frame.id()),
                 Publish::WouldBlock(_) => {
                     // Space was checked before rendering began and the app
                     // is the only producer.
@@ -644,7 +645,7 @@ impl Sim {
         // regulator sleep for a priority frame.
         match self.proxy_state {
             ProxyState::WaitingFrame => self.proxy_take_next(),
-            ProxyState::Sleeping { until } if frame.is_priority() => {
+            ProxyState::Sleeping { until } if is_priority => {
                 self.regulator.cancel_pending_sleep_recorded(
                     until.saturating_since(self.now),
                     self.now.as_nanos(),
@@ -673,6 +674,7 @@ impl Sim {
             // The replaced frame is the one with the largest id below
             // `new_id` that never reached the proxy.
             if let Some(t) = self
+                .scratch
                 .traces
                 .iter_mut()
                 .rev()
@@ -687,10 +689,10 @@ impl Sim {
         if self.cfg.trace {
             let ids: Vec<u64> = {
                 let mut q = self.mul_buf1.clone();
-                core::iter::from_fn(move || q.pop()).map(|f| f.id).collect()
+                core::iter::from_fn(move || q.pop()).map(|f| f.id()).collect()
             };
             for id in ids {
-                if let Some(t) = self.traces.iter_mut().find(|t| t.id == id) {
+                if let Some(t) = self.scratch.traces.iter_mut().find(|t| t.id == id) {
                     t.dropped = true;
                 }
             }
@@ -710,19 +712,18 @@ impl Sim {
 
     fn proxy_take_next(&mut self) {
         match self.mul_buf1.pop() {
-            Some(mut frame) => {
-                frame.proxy_start = self.now;
+            Some(frame) => {
                 // Popping freed a back buffer: unblock the app.
                 if self.app_state == AppState::BlockedOnBuffer {
                     self.app_cycle();
                 }
                 self.obs(
-                    ObsEvent::begin(self.obs_now(), track::PROXY, names::COPY).with_id(frame.id),
+                    ObsEvent::begin(self.obs_now(), track::PROXY, names::COPY).with_id(frame.id()),
                 );
                 let base = self.frame_model.copy.sample(&mut self.rng_copy);
                 self.set_mem(MemClient::Copy, true);
                 let job = self.new_job(frame, base);
-                self.events.push(
+                self.scratch.events.push(
                     self.job_deadline(&job),
                     Event::ProxyStageDone { gen: job.gen },
                 );
@@ -742,17 +743,18 @@ impl Sim {
         match phase {
             ProxyPhase::Copy => {
                 self.obs(
-                    ObsEvent::end(self.obs_now(), track::PROXY, names::COPY).with_id(frame.id),
+                    ObsEvent::end(self.obs_now(), track::PROXY, names::COPY).with_id(frame.id()),
                 );
                 self.obs(
-                    ObsEvent::begin(self.obs_now(), track::PROXY, names::ENCODE).with_id(frame.id),
+                    ObsEvent::begin(self.obs_now(), track::PROXY, names::ENCODE)
+                        .with_id(frame.id()),
                 );
-                self.trace_update(frame.id, |t, now| t.copy = Some((started, now)));
+                self.trace_update(frame.id(), |t, now| t.copy = Some((started, now)));
                 self.set_mem(MemClient::Copy, false);
                 let base = self.frame_model.encode.sample(&mut self.rng_encode);
                 self.set_mem(MemClient::Encode, true);
                 let job = self.new_job(frame, base);
-                self.events.push(
+                self.scratch.events.push(
                     self.job_deadline(&job),
                     Event::ProxyStageDone { gen: job.gen },
                 );
@@ -761,32 +763,34 @@ impl Sim {
             }
             ProxyPhase::Encode => {
                 self.obs(
-                    ObsEvent::end(self.obs_now(), track::PROXY, names::ENCODE).with_id(frame.id),
+                    ObsEvent::end(self.obs_now(), track::PROXY, names::ENCODE).with_id(frame.id()),
                 );
-                self.trace_update(frame.id, |t, now| t.encode = Some((started, now)));
+                self.trace_update(frame.id(), |t, now| t.encode = Some((started, now)));
                 self.on_encode_done(frame);
             }
         }
     }
 
-    fn on_encode_done(&mut self, mut frame: Frame) {
+    fn on_encode_done(&mut self, frame: FrameRef) {
         self.set_mem(MemClient::Encode, false);
-        frame.size = self.frame_model.size.sample(&mut self.rng_size, frame.id);
-        self.trace_size(frame.id, frame.size);
+        let size = self.frame_model.size.sample(&mut self.rng_size, frame.id());
+        self.scratch.lanes.set_size(frame, size);
+        self.trace_size(frame.id(), size);
         if self.now >= self.warmup {
             let t = self.metric_time();
             self.encode_rate.record(t);
         }
 
         if self.policy.use_buf2 {
-            if frame.is_priority() {
+            let is_priority = self.scratch.lanes.is_priority(frame);
+            if is_priority {
                 // Unsent frames in Mul-Buf2 are obsolete too.
                 self.flush_buf2_obsolete();
             }
             match self.mul_buf2.publish(frame) {
                 Publish::Stored => {
                     self.sender_take();
-                    self.proxy_finish_cycle(frame.is_priority());
+                    self.proxy_finish_cycle(is_priority);
                 }
                 Publish::WouldBlock(f) => {
                     self.parked_frame = Some(f);
@@ -796,20 +800,22 @@ impl Sim {
             }
         } else {
             // Baselines: blocking write straight into the downlink socket.
-            let delivery = self.downlink.send(self.now, frame.size);
+            let delivery = self.downlink.send(self.now, size);
             self.obs(
-                ObsEvent::begin(self.obs_now(), track::NET, names::TRANSMIT).with_id(frame.id),
+                ObsEvent::begin(self.obs_now(), track::NET, names::TRANSMIT).with_id(frame.id()),
             );
-            self.trace_update(frame.id, |t, now| {
+            self.trace_update(frame.id(), |t, now| {
                 t.transmit = Some((now, delivery.arrival));
             });
-            self.events
+            self.scratch
+                .events
                 .push(delivery.arrival, Event::FrameArrived { frame });
             if delivery.accepted > self.now {
                 self.proxy_state = ProxyState::BlockedOnSocket;
                 self.proxy_gen += 1;
                 let gen = self.proxy_gen;
-                self.events
+                self.scratch
+                    .events
                     .push(delivery.accepted, Event::ProxyWake { gen });
             } else {
                 self.proxy_finish_cycle(false);
@@ -821,10 +827,10 @@ impl Sim {
         if self.cfg.trace {
             let ids: Vec<u64> = {
                 let mut q = self.mul_buf2.clone();
-                core::iter::from_fn(move || q.pop()).map(|f| f.id).collect()
+                core::iter::from_fn(move || q.pop()).map(|f| f.id()).collect()
             };
             for id in ids {
-                if let Some(t) = self.traces.iter_mut().find(|t| t.id == id) {
+                if let Some(t) = self.scratch.traces.iter_mut().find(|t| t.id == id) {
                     t.dropped = true;
                 }
             }
@@ -868,7 +874,7 @@ impl Sim {
                 self.proxy_state = ProxyState::Sleeping { until };
                 self.proxy_gen += 1;
                 let gen = self.proxy_gen;
-                self.events.push(until, Event::ProxyWake { gen });
+                self.scratch.events.push(until, Event::ProxyWake { gen });
                 return;
             }
         }
@@ -879,7 +885,7 @@ impl Sim {
     fn buf1_head_priority(&self) -> bool {
         self.mul_buf1
             .peek()
-            .map(Frame::is_priority)
+            .map(|f| self.scratch.lanes.is_priority(*f))
             .unwrap_or(false)
     }
 
@@ -909,25 +915,26 @@ impl Sim {
             // Popping freed Mul-Buf2 space: resume a blocked proxy.
             if self.proxy_state == ProxyState::BlockedOnBuffer {
                 if let Some(parked) = self.parked_frame.take() {
-                    let was_priority = parked.is_priority();
+                    let was_priority = self.scratch.lanes.is_priority(parked);
                     let stored = matches!(self.mul_buf2.publish(parked), Publish::Stored);
                     debug_assert!(stored);
                     self.proxy_finish_cycle(was_priority);
                 }
             }
-            let delivery = self.downlink.send(self.now, frame.size);
+            let delivery = self.downlink.send(self.now, self.scratch.lanes.size(frame));
             self.obs(
-                ObsEvent::begin(self.obs_now(), track::NET, names::TRANSMIT).with_id(frame.id),
+                ObsEvent::begin(self.obs_now(), track::NET, names::TRANSMIT).with_id(frame.id()),
             );
-            self.trace_update(frame.id, |t, now| {
+            self.trace_update(frame.id(), |t, now| {
                 t.transmit = Some((now, delivery.arrival));
             });
-            self.events
+            self.scratch
+                .events
                 .push(delivery.arrival, Event::FrameArrived { frame });
             self.sender_busy = true;
             // The sender thread paces at wire speed: it hands the next
             // frame to the NIC only when this one has fully serialised.
-            self.events.push(delivery.tx_end, Event::SenderWake);
+            self.scratch.events.push(delivery.tx_end, Event::SenderWake);
         }
     }
 
@@ -940,29 +947,30 @@ impl Sim {
     // Client side.
     // ------------------------------------------------------------------
 
-    fn on_frame_arrived(&mut self, frame: Frame) {
-        self.obs(ObsEvent::end(self.obs_now(), track::NET, names::TRANSMIT).with_id(frame.id));
-        self.decode_queue.push_back(frame);
+    fn on_frame_arrived(&mut self, frame: FrameRef) {
+        self.obs(ObsEvent::end(self.obs_now(), track::NET, names::TRANSMIT).with_id(frame.id()));
+        self.scratch.decode_queue.push_back(frame);
         if !self.decoding {
             self.start_decode();
         }
     }
 
     fn start_decode(&mut self) {
-        if let Some(frame) = self.decode_queue.pop_front() {
+        if let Some(frame) = self.scratch.decode_queue.pop_front() {
             self.decoding = true;
             self.obs(
-                ObsEvent::begin(self.obs_now(), track::CLIENT, names::DECODE).with_id(frame.id),
+                ObsEvent::begin(self.obs_now(), track::CLIENT, names::DECODE).with_id(frame.id()),
             );
             let dur = self.frame_model.decode.sample(&mut self.rng_decode);
-            self.trace_update(frame.id, |t, now| t.decode = Some((now, now + dur)));
-            self.events
+            self.trace_update(frame.id(), |t, now| t.decode = Some((now, now + dur)));
+            self.scratch
+                .events
                 .push(self.now + dur, Event::DecodeDone { frame });
         }
     }
 
-    fn on_decode_done(&mut self, frame: Frame) {
-        self.obs(ObsEvent::end(self.obs_now(), track::CLIENT, names::DECODE).with_id(frame.id));
+    fn on_decode_done(&mut self, frame: FrameRef) {
+        self.obs(ObsEvent::end(self.obs_now(), track::CLIENT, names::DECODE).with_id(frame.id()));
         self.decoding = false;
         self.window_decodes += 1;
 
@@ -970,20 +978,23 @@ impl Sim {
         if let Some(rvs) = self.policy.rvs.as_ref() {
             let diff = rvs.clock().time_to_vblank(self.now);
             let delivery = self.uplink.send(self.now, 64);
-            let lag = delivery.arrival.saturating_since(frame.render_end);
-            self.events
+            let lag = delivery
+                .arrival
+                .saturating_since(self.scratch.lanes.render_end(frame));
+            self.scratch
+                .events
                 .push(delivery.arrival, Event::RvsFeedback { diff, lag });
         }
 
         self.client_present(frame);
 
-        if !self.decode_queue.is_empty() {
+        if !self.scratch.decode_queue.is_empty() {
             self.start_decode();
         }
     }
 
     /// Routes a decoded frame to the configured presentation model.
-    fn client_present(&mut self, frame: Frame) {
+    fn client_present(&mut self, frame: FrameRef) {
         match self.cfg.display {
             ClientDisplay::Immediate => self.present_now(frame),
             ClientDisplay::VSync { refresh_hz } => {
@@ -1000,7 +1011,7 @@ impl Sim {
                 if !self.present_scheduled {
                     let clock = odr_core::rvs::VblankClock::new(refresh_hz);
                     let vblank = clock.next_vblank(self.now + Duration::from_nanos(1));
-                    self.events.push(vblank, Event::Present);
+                    self.scratch.events.push(vblank, Event::Present);
                     self.present_scheduled = true;
                 }
             }
@@ -1019,7 +1030,7 @@ impl Sim {
                         ));
                     }
                     if !self.present_scheduled {
-                        self.events.push(earliest, Event::Present);
+                        self.scratch.events.push(earliest, Event::Present);
                         self.present_scheduled = true;
                     }
                 } else {
@@ -1038,15 +1049,18 @@ impl Sim {
 
     /// The frame reaches the user's eyes: record display metrics and
     /// answer inputs (motion-to-*photon* ends here).
-    fn present_now(&mut self, frame: Frame) {
-        self.obs(ObsEvent::instant(self.obs_now(), track::CLIENT, names::PRESENT).with_id(frame.id));
+    fn present_now(&mut self, frame: FrameRef) {
+        self.obs(
+            ObsEvent::instant(self.obs_now(), track::CLIENT, names::PRESENT).with_id(frame.id()),
+        );
         if self.now >= self.warmup {
             self.frames_displayed += 1;
             let t = self.metric_time();
             self.gap.consumer.record(t);
             self.satisfaction.record(t);
             if let Some(last) = self.last_display {
-                self.display_intervals_ms
+                self.scratch
+                    .display_intervals_ms
                     .push(self.now.saturating_since(last).as_secs_f64() * 1e3);
             }
         }
@@ -1054,12 +1068,12 @@ impl Sim {
 
         // Motion-to-photon: this frame answers every input applied to the
         // app state before it was simulated.
-        if let Some(upto) = frame.answers_upto {
+        if let Some(upto) = self.scratch.lanes.answers_upto(frame) {
             while self.answered_upto <= upto {
                 let Ok(idx) = usize::try_from(self.answered_upto) else {
                     break; // unreachable on 64-bit targets
                 };
-                let created = self.input_created[idx];
+                let created = self.scratch.input_created[idx];
                 if created >= self.warmup {
                     self.mtp_ms
                         .record(self.now.saturating_since(created).as_secs_f64() * 1e3);
@@ -1073,9 +1087,11 @@ impl Sim {
         let fps = self.window_decodes as f64 * 2.0; // 500 ms window
         self.window_decodes = 0;
         let delivery = self.uplink.send(self.now, 64);
-        self.events
+        self.scratch
+            .events
             .push(delivery.arrival, Event::IntMaxFeedback { fps });
-        self.events
+        self.scratch
+            .events
             .push(self.now + Duration::from_millis(500), Event::ClientFpsTick);
     }
 
@@ -1086,12 +1102,13 @@ impl Sim {
     fn on_input_created(&mut self) {
         let id = self.next_input_id;
         self.next_input_id += 1;
-        self.input_created.push(self.now);
+        self.scratch.input_created.push(self.now);
         let delivery = self.uplink.send(self.now, 128);
-        self.events
+        self.scratch
+            .events
             .push(delivery.arrival, Event::InputAtServer { id });
         let next = self.input_model.next_after(self.now, &mut self.rng_input);
-        self.events.push(next, Event::InputCreated);
+        self.scratch.events.push(next, Event::InputCreated);
     }
 
     fn on_input_at_server(&mut self, id: u64) {
@@ -1121,7 +1138,7 @@ impl Sim {
     fn trace_update(&mut self, id: u64, f: impl FnOnce(&mut FrameTrace, SimTime)) {
         if self.cfg.trace {
             let now = self.now;
-            if let Some(t) = self.traces.iter_mut().rev().find(|t| t.id == id) {
+            if let Some(t) = self.scratch.traces.iter_mut().rev().find(|t| t.id == id) {
                 f(t, now);
             }
         }
@@ -1142,7 +1159,8 @@ impl Sim {
         let memory = self.mem.report(self.now);
         let mut mtp = self.mtp_ms.clone();
         let mtp_stats = mtp.box_stats();
-        let (pacing_cv, stutter_rate) = crate::report::pacing_stats(&self.display_intervals_ms);
+        let (pacing_cv, stutter_rate) =
+            crate::report::pacing_stats(&self.scratch.display_intervals_ms);
         let obs = ObsReport::from_recorder(self.recorder.as_ref());
         Report {
             label: self.cfg.label(),
@@ -1167,7 +1185,7 @@ impl Sim {
             display_drops: self.display_drops,
             priority_frames: self.gate.priority_frames(),
             inputs: self.next_input_id,
-            traces: self.traces,
+            traces: std::mem::take(&mut self.scratch.traces),
             obs,
         }
     }

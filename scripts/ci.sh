@@ -137,6 +137,55 @@ echo "fleet report identical with tracing on vs off"
 echo "== fleet scaling (64 sessions, 1 thread vs available cores) =="
 cargo run --release -q -p odr-bench --bin fleet_scaling
 
+echo "== analytic fidelity differential (full vs analytic, small fleet) =="
+# The analytic fast path must track the DES it replaces within the
+# tolerances DESIGN.md §14 documents. The aggregate comparison itself
+# is pinned by unit/property tests; here we assert the CLI wiring
+# end-to-end: same fleet, both fidelities, and the analytic report must
+# carry the same session count while agreeing on total power to 5%.
+out_full="$(mktemp)"
+out_analytic="$(mktemp)"
+trap 'rm -f "$out_serial" "$out_parallel" "$out_traced" "$trace_file" "$out_full" "$out_analytic"' EXIT
+cargo run --release -q -p odr-bench --bin odrsim -- \
+    --benchmark IM --regulation odr --target 60 --duration 5 --seed 42 \
+    --sessions 32 --threads "$threads" >"$out_full" 2>/dev/null
+cargo run --release -q -p odr-bench --bin odrsim -- \
+    --benchmark IM --regulation odr --target 60 --duration 5 --seed 42 \
+    --sessions 32 --threads "$threads" --fidelity analytic \
+    >"$out_analytic" 2>/dev/null
+head -1 "$out_full" | grep -q "sessions=32" || { echo "full fleet header wrong" >&2; exit 1; }
+head -1 "$out_analytic" | grep -q "sessions=32" || { echo "analytic fleet header wrong" >&2; exit 1; }
+power_full="$(grep -o 'power_w=[0-9.]*' "$out_full" | cut -d= -f2)"
+power_analytic="$(grep -o 'power_w=[0-9.]*' "$out_analytic" | cut -d= -f2)"
+awk -v a="$power_analytic" -v f="$power_full" 'BEGIN {
+    rel = (a - f) / f; if (rel < 0) rel = -rel;
+    if (rel >= 0.05) { exit 1 }
+}' || {
+    echo "analytic differential FAILED: power $power_analytic vs $power_full (>5%)" >&2
+    exit 1
+}
+echo "analytic fleet tracks full DES (power within 5%)"
+
+echo "== analytic smoke (100k sessions through the CLI) =="
+# The class-memoized analytic path must push 100k sessions through the
+# CLI in one short run — this is the million-session fast path at a
+# CI-friendly size (fleet_scaling --fidelity analytic runs the full
+# 10^6 with the >= 100x floor).
+out_smoke="$(mktemp)"
+trap 'rm -f "$out_serial" "$out_parallel" "$out_traced" "$trace_file" "$out_full" "$out_analytic" "$out_smoke"' EXIT
+cargo run --release -q -p odr-bench --bin odrsim -- \
+    --benchmark IM --regulation odr --target 60 --duration 5 --seed 42 \
+    --sessions 100000 --fidelity analytic >"$out_smoke" 2>/dev/null
+head -1 "$out_smoke" | grep -q "sessions=100000" || {
+    echo "analytic smoke FAILED: wrong session count" >&2
+    head -3 "$out_smoke" >&2
+    exit 1
+}
+echo "100k-session analytic fleet ran clean"
+
+echo "== fleet scaling, analytic fidelity (10^6 sessions, >= 100x floor) =="
+cargo run --release -q -p odr-bench --bin fleet_scaling -- --fidelity analytic
+
 echo "== cluster determinism differential (1 thread vs all cores) =="
 # The cluster scheduler extends the fleet promise: control plane,
 # calibration and measured sub-fleets must produce byte-identical

@@ -154,6 +154,18 @@ macro_rules! impl_float_range {
 }
 impl_float_range!(f32, f64);
 
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident/$i:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy!((A/0, B/1), (A/0, B/1, C/2), (A/0, B/1, C/2, D/3));
+
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Sized {
     /// Draws an arbitrary value of this type.

@@ -65,14 +65,16 @@ pub use odr_workload as workload;
 /// recorder/exporter surface.
 pub mod prelude {
     pub use odr_core::{
-        FpsGoal, FpsRegulator, OdrError, OdrOptions, OdrResult, PriorityGate, RegulationSpec,
-        SyncQueue,
+        FidelityMode, FpsGoal, FpsRegulator, OdrError, OdrOptions, OdrResult, PriorityGate,
+        RegulationSpec, SimOptions, SyncQueue,
     };
     pub use odr_cluster::{
-        run_cluster, ChurnConfig, ClusterConfig, ClusterReport, PlacementKind, PolicyMix,
-        RetryPolicy, Slo,
+        run_cluster, ChurnConfig, ClusterConfig, ClusterConfigBuilder, ClusterReport,
+        PlacementKind, PolicyMix, RetryPolicy, Slo,
     };
-    pub use odr_fleet::{run_fleet, FleetConfig, FleetConfigBuilder, FleetReport};
+    pub use odr_fleet::{
+        run_fleet, ClassCache, FleetConfig, FleetConfigBuilder, FleetReport, SessionClass,
+    };
     pub use odr_obs::{
         to_chrome_trace, to_jsonl, NullRecorder, ObsReport, Recorder, RingRecorder,
     };
