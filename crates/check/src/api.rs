@@ -194,6 +194,56 @@ pub fn collect_api(root: &Path) -> OdrResult<String> {
     Ok(text)
 }
 
+/// Extracts the public surface from a pre-scanned workspace (the shared
+/// lex/item views of [`crate::lint::Workspace`]), avoiding a second lex
+/// of every file. Byte-identical to [`collect_api`] on the same tree:
+/// the same files are considered (crate and root `src/` trees; shims and
+/// test/bench trees are not part of the API snapshot) and lines are
+/// sorted and deduplicated the same way.
+#[must_use]
+pub fn collect_api_from(root: &Path, scans: &[crate::lint::FileScan]) -> String {
+    let mut out: Vec<String> = Vec::new();
+    let mut pkg_cache: std::collections::BTreeMap<String, Option<String>> =
+        std::collections::BTreeMap::new();
+    for scan in scans {
+        let parts: Vec<&str> = scan.rel_path.split('/').collect();
+        let (manifest_dir, src_rel) = match parts.first() {
+            Some(&"crates") if parts.len() > 3 && parts.get(2) == Some(&"src") => {
+                (format!("crates/{}", parts[1]), parts[3..].join("/"))
+            }
+            Some(&"src") if parts.len() > 1 => (String::new(), parts[1..].join("/")),
+            _ => continue, // shims and anything else stay out of the snapshot
+        };
+        let manifest = if manifest_dir.is_empty() {
+            root.join("Cargo.toml")
+        } else {
+            root.join(&manifest_dir).join("Cargo.toml")
+        };
+        let pkg = pkg_cache
+            .entry(manifest_dir)
+            .or_insert_with(|| package_name(&manifest));
+        let Some(pkg) = pkg else {
+            continue;
+        };
+        let Some(mod_parts) = module_path_of(Path::new(&src_rel)) else {
+            continue;
+        };
+        let mut prefix = pkg.replace('-', "_");
+        for p in &mod_parts {
+            prefix.push_str("::");
+            prefix.push_str(p);
+        }
+        emit_items(&prefix, &scan.items, &mut out);
+    }
+    out.sort();
+    out.dedup();
+    let mut text = out.join("\n");
+    if !text.is_empty() {
+        text.push('\n');
+    }
+    text
+}
+
 /// Outcome of comparing the tree against the committed snapshot.
 #[derive(Debug)]
 pub struct ApiDiff {
@@ -228,12 +278,19 @@ pub fn diff_surface(current: &str, snapshot: &str) -> ApiDiff {
 /// the diff; a missing snapshot file is reported as everything-added.
 pub fn check_against_snapshot(root: &Path) -> OdrResult<ApiDiff> {
     let current = collect_api(root)?;
+    check_surface(root, &current)
+}
+
+/// Checks an already-rendered surface against the committed snapshot
+/// (the shared-workspace path). On mismatch the surface is written to
+/// [`SCRATCH_FILE`].
+pub fn check_surface(root: &Path, current: &str) -> OdrResult<ApiDiff> {
     let snap_path = root.join(SNAPSHOT_FILE);
     let snapshot = fs::read_to_string(&snap_path).unwrap_or_default();
-    let diff = diff_surface(&current, &snapshot);
+    let diff = diff_surface(current, &snapshot);
     if !diff.is_empty() {
         let scratch = root.join(SCRATCH_FILE);
-        fs::write(&scratch, &current)
+        fs::write(&scratch, current)
             .map_err(|e| OdrError::io(scratch.display().to_string(), e))?;
     }
     Ok(diff)
@@ -243,10 +300,14 @@ pub fn check_against_snapshot(root: &Path) -> OdrResult<ApiDiff> {
 /// `UPDATE_GOLDEN=1` path).
 pub fn update_snapshot(root: &Path) -> OdrResult<String> {
     let current = collect_api(root)?;
-    let snap_path = root.join(SNAPSHOT_FILE);
-    fs::write(&snap_path, &current)
-        .map_err(|e| OdrError::io(snap_path.display().to_string(), e))?;
+    write_surface(root, &current)?;
     Ok(current)
+}
+
+/// Writes an already-rendered surface as the committed snapshot.
+pub fn write_surface(root: &Path, current: &str) -> OdrResult<()> {
+    let snap_path = root.join(SNAPSHOT_FILE);
+    fs::write(&snap_path, current).map_err(|e| OdrError::io(snap_path.display().to_string(), e))
 }
 
 #[cfg(test)]
@@ -306,5 +367,15 @@ mod tests {
         assert_eq!(d.removed, ["d"]);
         assert!(!d.is_empty());
         assert!(diff_surface("a\n", "a\n").is_empty());
+    }
+
+    #[test]
+    fn shared_scan_surface_matches_fresh_collection() {
+        // The shared-workspace path must be byte-identical to a fresh
+        // per-file lex of the real tree.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let fresh = collect_api(&root).unwrap();
+        let (scans, _) = crate::lint::scan_tree(&root);
+        assert_eq!(fresh, collect_api_from(&root, &scans));
     }
 }

@@ -49,7 +49,7 @@ use std::path::Path;
 
 use odr_core::{OdrError, OdrResult};
 
-use crate::items::{Item, ItemKind};
+use crate::items::{Item, ItemKind, Vis};
 use crate::lex::{TokKind, Token};
 use crate::lint::FileScan;
 
@@ -77,6 +77,13 @@ pub struct FnNode {
     /// Token-index range of the body in the defining file's token
     /// stream; `None` for bodyless trait-method declarations.
     pub body: Option<(usize, usize)>,
+    /// `true` for `pub fn` (unrestricted visibility).
+    pub is_pub: bool,
+    /// The rendered signature (as produced by the item extractor).
+    pub signature: String,
+    /// `true` when the fn carries `#[cold]` — the effect pass treats it
+    /// as an out-of-line slow path (see [`crate::effects`]).
+    pub cold: bool,
 }
 
 /// One resolved call edge.
@@ -243,6 +250,7 @@ pub fn build_graph(root: &Path, scans: &[FileScan]) -> CallGraph {
     // Symbol tables for resolution.
     let mut free: BTreeMap<(String, String), String> = BTreeMap::new(); // (module, name) → id
     let mut methods: BTreeMap<(String, String), Vec<String>> = BTreeMap::new(); // (Type, name) → ids
+    let mut fields: FieldMap = BTreeMap::new(); // (Type, field) → field type base
     let mut crate_roots: BTreeSet<String> = BTreeSet::new();
 
     for (idx, scan) in scans.iter().enumerate() {
@@ -286,6 +294,7 @@ pub fn build_graph(root: &Path, scans: &[FileScan]) -> CallGraph {
             &mut free,
             &mut methods,
         );
+        collect_fields(scan, &mut fields);
         ctxs.push(Some(ctx));
     }
 
@@ -302,6 +311,7 @@ pub fn build_graph(root: &Path, scans: &[FileScan]) -> CallGraph {
             false,
             &free,
             &methods,
+            &fields,
             &crate_roots,
             &mut graph,
         );
@@ -447,6 +457,9 @@ fn collect_defs(
                     line: item.line,
                     cfg_test: in_test,
                     body: item.body,
+                    is_pub: item.vis == Vis::Pub,
+                    signature: item.signature.clone(),
+                    cold: item.attrs.iter().any(|a| a.trim() == "cold"),
                 };
                 // First definition wins (duplicate ids only arise from
                 // cfg-gated twins, which share one body's semantics —
@@ -510,6 +523,7 @@ fn resolve_file(
     parent_test: bool,
     free: &BTreeMap<(String, String), String>,
     methods: &BTreeMap<(String, String), Vec<String>>,
+    fields: &FieldMap,
     crate_roots: &BTreeSet<String>,
     graph: &mut CallGraph,
 ) {
@@ -532,7 +546,7 @@ fn resolve_file(
                         ),
                         RawCall::Method { recv, name, line } => (
                             *line,
-                            resolve_method(recv, name, ctx, impl_type, &locals, methods),
+                            resolve_method(recv, name, ctx, impl_type, &locals, methods, fields),
                         ),
                     };
                     match target {
@@ -562,6 +576,7 @@ fn resolve_file(
                     in_test,
                     free,
                     methods,
+                    fields,
                     crate_roots,
                     graph,
                 );
@@ -582,6 +597,7 @@ fn resolve_file(
                     in_test,
                     free,
                     methods,
+                    fields,
                     crate_roots,
                     graph,
                 );
@@ -669,6 +685,113 @@ fn local_types(body: &[Token]) -> BTreeMap<String, String> {
 
 fn starts_uppercase(s: &str) -> bool {
     s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+/// Struct-field type table: `(TypeName, field)` → `Some(base)` when the
+/// field's type base name is pinned, `None` when two same-named structs
+/// disagree (poisoned — such a chain never resolves).
+type FieldMap = BTreeMap<(String, String), Option<String>>;
+
+/// Scans one file's token stream for `struct Name { field: Type, .. }`
+/// definitions and records each named field's type base name. This is
+/// what lets a dotted receiver chain (`self.scratch.events.push(..)`)
+/// resolve: the enclosing impl type pins the head, and each field hop
+/// walks this table.
+fn collect_fields(scan: &FileScan, out: &mut FieldMap) {
+    let toks = &scan.lexed.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("struct")
+            && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            let name = toks[i + 1].text.clone();
+            // Find the body `{`, skipping generics; `;` / `(` first means
+            // a unit or tuple struct (no named fields). A paren inside a
+            // `where` clause aborts too — acceptable under-approximation.
+            let mut j = i + 2;
+            let mut body_open = None;
+            while let Some(t) = toks.get(j) {
+                if t.is_punct(';') || t.is_punct('(') {
+                    break;
+                }
+                if t.is_punct('{') {
+                    body_open = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(open) = body_open {
+                i = parse_struct_fields(toks, open, &name, out);
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parses the named fields of one struct body (cursor on its `{`),
+/// recording `(struct, field) → type base`. Returns the index just past
+/// the closing `}`. Conflicting re-definitions poison the entry.
+fn parse_struct_fields(toks: &[Token], open: usize, name: &str, out: &mut FieldMap) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('{') {
+            depth += 1;
+            j += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            j += 1;
+            if depth == 0 {
+                return j;
+            }
+            continue;
+        }
+        // A field is `ident :` at depth 1 (not `::`); visibility and
+        // attributes never put an ident directly before a single `:`.
+        if depth == 1
+            && t.kind == TokKind::Ident
+            && toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
+            && !toks.get(j + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            let field = t.text.clone();
+            // Type base: the first uppercase-initial ident after the `:`,
+            // skipping references, lifetimes, `mut`/`dyn`, module paths
+            // and array brackets. Lowercase-only types (primitives,
+            // tuples) record no base.
+            let mut base: Option<String> = None;
+            let mut k = j + 2;
+            while let Some(tt) = toks.get(k) {
+                if tt.is_punct(',') || tt.is_punct('}') {
+                    break;
+                }
+                if tt.kind == TokKind::Ident {
+                    if starts_uppercase(&tt.text) {
+                        base = Some(tt.text.clone());
+                        break;
+                    }
+                    k += 1;
+                    continue;
+                }
+                k += 1;
+            }
+            match out.entry((name.to_string(), field)) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(base);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    if *e.get() != base {
+                        e.insert(None);
+                    }
+                }
+            }
+        }
+        j += 1;
+    }
+    toks.len()
 }
 
 /// Extracts raw call sites from a body token slice.
@@ -922,8 +1045,10 @@ fn pick_method(cands: Option<&Vec<String>>, crate_root: &str) -> Option<String> 
 }
 
 /// Resolves a method call. `locals` maps let-bound and parameter names
-/// to type base names pinned in the same function. There is deliberately
-/// NO unique-name fallback: common method names (`iter`, `min`, `wait`,
+/// to type base names pinned in the same function; dotted receiver
+/// chains (`self.scratch.events`) walk the struct-field table from the
+/// pinned head type, one hop per field. There is deliberately NO
+/// unique-name fallback: common method names (`iter`, `min`, `wait`,
 /// `notify_one`…) collide with std types constantly, and a false edge
 /// would break the graph's "every edge is real" polarity that the taint
 /// and lock passes depend on. An unpinned receiver simply yields no
@@ -935,21 +1060,26 @@ fn resolve_method(
     impl_type: Option<&str>,
     locals: &BTreeMap<String, String>,
     methods: &BTreeMap<(String, String), Vec<String>>,
+    fields: &FieldMap,
 ) -> Option<String> {
-    // `self.method(..)` — the enclosing impl type, if it defines it.
-    if recv == "self" {
-        if let Some(t) = impl_type {
-            if let Some(hit) =
-                pick_method(methods.get(&(t.to_string(), name.to_string())), &ctx.crate_root)
-            {
-                return Some(hit);
-            }
-        }
+    if recv.is_empty() {
         return None;
     }
-    // Receiver pinned by a local binding or a typed parameter.
-    let ty = locals.get(recv)?;
-    pick_method(methods.get(&(ty.clone(), name.to_string())), &ctx.crate_root)
+    let mut segs = recv.split('.');
+    let head = segs.next()?;
+    // The chain head: `self` pins to the enclosing impl type, anything
+    // else to a let-bound local or typed parameter.
+    let mut ty: String = if head == "self" {
+        impl_type?.to_string()
+    } else {
+        locals.get(head)?.clone()
+    };
+    // Each remaining segment is a field access; a hop through an unknown
+    // or poisoned field kills the chain.
+    for field in segs {
+        ty = fields.get(&(ty, field.to_string()))?.clone()?;
+    }
+    pick_method(methods.get(&(ty, name.to_string())), &ctx.crate_root)
 }
 
 /// Diffs the current graph rendering against snapshot text.
@@ -1152,6 +1282,63 @@ mod tests {
         ]);
         assert!(g.edges.is_empty(), "{:?}", g.edges);
         assert_eq!(g.unresolved, 1);
+    }
+
+    #[test]
+    fn field_chain_receiver_resolves_through_struct_fields() {
+        let g = graph_of(&[(
+            "crates/core/src/swap.rs",
+            "pub struct Inner;\n\
+             impl Inner { pub fn tick(&self) {} }\n\
+             pub struct Mid { pub inner: Inner }\n\
+             pub struct Outer { pub mid: Mid }\n\
+             impl Outer {\n\
+                 pub fn drive(&self) { self.mid.inner.tick(); }\n\
+             }\n\
+             pub fn free(o: &Outer) { o.mid.inner.tick(); }\n",
+        )]);
+        let pairs: Vec<(&str, &str)> = g
+            .edges
+            .iter()
+            .map(|e| (e.caller.as_str(), e.callee.as_str()))
+            .collect();
+        assert!(
+            pairs.contains(&("odr_core::swap::Outer::drive", "odr_core::swap::Inner::tick")),
+            "{pairs:?}"
+        );
+        assert!(
+            pairs.contains(&("odr_core::swap::free", "odr_core::swap::Inner::tick")),
+            "{pairs:?}"
+        );
+    }
+
+    #[test]
+    fn conflicting_same_named_structs_poison_the_field() {
+        // Two structs named `S` with a `q` field of different types: the
+        // chain must not resolve (a wrong edge is worse than none).
+        let g = graph_of(&[(
+            "crates/core/src/swap.rs",
+            "pub struct A; impl A { pub fn hit(&self) {} }\n\
+             pub struct B; impl B { pub fn hit(&self) {} }\n\
+             pub struct S { pub q: A }\n\
+             mod twin { pub struct S { pub q: super::B } }\n\
+             pub fn drive(s: &S) { s.q.hit(); }\n",
+        )]);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn fn_nodes_carry_visibility_and_cold_metadata() {
+        let g = graph_of(&[(
+            "crates/core/src/swap.rs",
+            "pub fn api() {}\n\
+             #[cold]\nfn slow_path() {}\n",
+        )]);
+        let api = &g.fns["odr_core::swap::api"];
+        assert!(api.is_pub && !api.cold);
+        assert!(api.signature.contains("pub fn api"), "{}", api.signature);
+        let slow = &g.fns["odr_core::swap::slow_path"];
+        assert!(slow.cold && !slow.is_pub);
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! * [`taint`] — the determinism taint pass: call-graph-transitive
 //!   reachability from pure-sim functions to wall-clock / OS-RNG /
 //!   thread-ID / env sources;
+//! * [`effects`] — the whole-program effect analysis: per-function
+//!   panic/alloc/blocking classification propagated over the call
+//!   graph, enforced against the `hotpaths.txt` hot-root manifest and
+//!   serialized into the committed `effect-surface.txt` snapshot;
 //! * [`api`] — the API-surface snapshot: every `pub` item in the
 //!   workspace rendered into a sorted, byte-deterministic
 //!   `api-surface.txt`, with `odr-check api --check` failing on
@@ -42,6 +46,7 @@
 pub mod amodel;
 pub mod api;
 pub mod atomics;
+pub mod effects;
 pub mod graph;
 pub mod items;
 pub mod lex;

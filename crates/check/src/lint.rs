@@ -65,9 +65,13 @@ pub const PURE_SIM_CRATES: &[&str] = &[
 pub const REALTIME_CRATES: &[&str] = &["runtime", "bench", "check"];
 
 /// Individual files inside pure-sim crates that are deliberately
-/// wall-clock: `MonoClock` is the realtime runtime's trace timestamp
-/// source and the only place `odr-obs` may read the OS clock.
-pub const REALTIME_MODULES: &[&str] = &["crates/obs/src/clock.rs"];
+/// realtime: `MonoClock` is the realtime runtime's trace timestamp
+/// source and the only place `odr-obs` may read the OS clock, and the
+/// thread-safe multi-buffer (`SyncQueue`) is the real-thread half of
+/// `odr-core` — it parks real threads and stamps its trace events off
+/// `MonoClock` by design (it is also in the lock pass's scope).
+pub const REALTIME_MODULES: &[&str] =
+    &["crates/obs/src/clock.rs", "crates/core/src/sync_queue.rs"];
 
 /// All rule identifiers, used to validate allow entries.
 pub const ALL_RULES: &[&str] = &[
@@ -97,6 +101,11 @@ pub const ALL_RULES: &[&str] = &[
     "taint/os-rng",
     "taint/thread-id",
     "taint/env",
+    "effect/hot-alloc",
+    "effect/hot-block",
+    "effect/hot-panic",
+    "effect/pub-panic",
+    "effect/manifest",
 ];
 
 /// One rule breach at a specific source line.
@@ -809,22 +818,56 @@ pub fn scan_tree(root: &Path) -> (Vec<FileScan>, Vec<String>) {
     (scans, warnings)
 }
 
-/// Runs every lint rule over the tree rooted at `root`: the per-file
-/// token passes, the atomics-discipline pass, and — over the workspace
-/// call graph built from the same scans — the determinism taint pass,
-/// the `graph/layer-inversion` rule, and the one-level-transitive
-/// blocking-under-guard check.
+/// The shared workspace view every analysis pass runs on: each source
+/// file lexed and item-parsed exactly once, plus the call graph built
+/// from those scans. One `odr-check` invocation loads this once and
+/// hands it to the lint, taint, effect, callgraph and surface passes.
+pub struct Workspace {
+    /// Every lintable file, scanned, in sorted path order.
+    pub scans: Vec<FileScan>,
+    /// Unreadable-file warnings from the tree walk.
+    pub warnings: Vec<String>,
+    /// The call graph over `scans` (node `file_idx` values index it).
+    pub graph: crate::graph::CallGraph,
+}
+
+/// Scans the tree under `root` and builds the call graph — the one
+/// place per invocation that lexes source files.
+#[must_use]
+pub fn load_workspace(root: &Path) -> Workspace {
+    let (scans, warnings) = scan_tree(root);
+    let graph = crate::graph::build_graph(root, &scans);
+    Workspace {
+        scans,
+        warnings,
+        graph,
+    }
+}
+
+/// Runs every lint rule over the tree rooted at `root`. Convenience
+/// wrapper around [`load_workspace`] + [`run_lints_on`] for callers
+/// that run only the lint pass.
 #[must_use]
 pub fn run_lints(root: &Path, allow: &Allowlist) -> LintReport {
+    run_lints_on(&load_workspace(root), root, allow)
+}
+
+/// Runs every lint rule over a pre-loaded workspace: the per-file
+/// token passes, the atomics-discipline pass, and — over the workspace
+/// call graph built from the same scans — the determinism taint pass,
+/// the effect rules, the `graph/layer-inversion` rule, and the
+/// one-level-transitive blocking-under-guard check.
+#[must_use]
+pub fn run_lints_on(ws: &Workspace, root: &Path, allow: &Allowlist) -> LintReport {
     let mut report = LintReport::default();
     for problem in &allow.problems {
         report.warnings.push(problem.clone());
     }
-    let (scans, warnings) = scan_tree(root);
-    report.warnings.extend(warnings);
+    let scans = &ws.scans;
+    report.warnings.extend(ws.warnings.iter().cloned());
     report.files = scans.len();
 
-    let graph = crate::graph::build_graph(root, &scans);
+    let graph = &ws.graph;
 
     let mut features_cache: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     let mut orders = locks::OrderGraph::default();
@@ -873,7 +916,9 @@ pub fn run_lints(root: &Path, allow: &Allowlist) -> LintReport {
     }
 
     // --- call-graph passes -------------------------------------------
-    crate::taint::taint_rules(&graph, &scans, REALTIME_MODULES, allow, &mut report);
+    crate::taint::taint_rules(graph, scans, REALTIME_MODULES, allow, &mut report);
+    let manifest = crate::effects::load_manifest(root);
+    crate::effects::effect_rules(graph, scans, &manifest, allow, &mut report);
 
     // Layer inversion: a non-test pure-sim function calling into the
     // realtime layer (realtime crates, or the sanctioned wall-clock

@@ -523,7 +523,9 @@ pub fn blocking_in_range(toks: &[Token], lo: usize, hi: usize) -> Option<String>
 }
 
 /// Recognises a blocking call at token `i`, returning its description.
-fn blocking_call(toks: &[Token], i: usize) -> Option<String> {
+/// Shared with the effect pass ([`crate::effects`]), which extends the
+/// table with lock acquisition and condvar waits.
+pub(crate) fn blocking_call(toks: &[Token], i: usize) -> Option<String> {
     let t = &toks[i];
     if t.kind != TokKind::Ident {
         return None;

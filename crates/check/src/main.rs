@@ -1,19 +1,29 @@
 //! `odr-check` CLI: runs the repo lint passes (token-level rules, lock
-//! discipline, atomics discipline, determinism taint), the API-surface
-//! and call-graph snapshot checks, and the swap-protocol model checker.
+//! discipline, atomics discipline, determinism taint, effect rules), the
+//! API-surface, call-graph and effect-surface snapshot checks, and the
+//! swap-protocol model checker.
+//!
+//! Every invocation loads the workspace **once** — each source file is
+//! lexed and item-parsed a single time and the call graph is built from
+//! those shared scans — and hands that view to whichever passes run.
+//! Pass timings (wall µs), the file count and per-pass finding counts
+//! are written to `BENCH_check.json` at the repo root (gitignored).
 //!
 //! Exit status is uniform across every subcommand and pass:
 //! `0` clean, `1` findings (lint violations, API diffs, model failures),
 //! `2` usage or I/O error. All error paths flow through
 //! [`odr_core::OdrResult`]; there are no scattered `process::exit` calls.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
+use odr_bench::emit::{peak_rss_bytes, BenchJson};
 use odr_check::amodel;
 use odr_check::api;
+use odr_check::effects;
 use odr_check::graph;
-use odr_check::lint::{run_lints, scan_tree, Allowlist};
+use odr_check::lint::{load_workspace, run_lints_on, Allowlist, Workspace};
 use odr_check::model::{explore_dfs, explore_random, standard_suite};
 use odr_core::{OdrError, OdrResult};
 
@@ -33,6 +43,13 @@ SUBCOMMANDS:
   callgraph --check      compare the graph against callgraph.txt;
                          exit 1 on any diff (writes callgraph.txt.new)
                          [UPDATE_GOLDEN=1 odr-check callgraph] rewrites
+                         the committed snapshot instead
+  effects                print the per-function effect surface (which
+                         production functions can allocate, block or
+                         panic, directly or transitively)
+  effects --check        compare against effect-surface.txt; exit 1 on
+                         drift (writes effect-surface.txt.new)
+                         [UPDATE_GOLDEN=1 odr-check effects] rewrites
                          the committed snapshot instead
 
 OPTIONS:
@@ -59,6 +76,8 @@ struct Options {
     api_check: bool,
     callgraph: bool,
     callgraph_check: bool,
+    effects: bool,
+    effects_check: bool,
     lint: bool,
     model: bool,
     deny_warnings: bool,
@@ -79,6 +98,8 @@ impl Default for Options {
             api_check: false,
             callgraph: false,
             callgraph_check: false,
+            effects: false,
+            effects_check: false,
             lint: true,
             model: true,
             deny_warnings: false,
@@ -105,8 +126,10 @@ fn parse_args() -> OdrResult<Options> {
         match arg.as_str() {
             "api" if first => opts.api = true,
             "callgraph" if first => opts.callgraph = true,
+            "effects" if first => opts.effects = true,
             "--check" if opts.api => opts.api_check = true,
             "--check" if opts.callgraph => opts.callgraph_check = true,
+            "--check" if opts.effects => opts.effects_check = true,
             "--lint-only" => opts.model = false,
             "--model-only" => opts.lint = false,
             "--deny-warnings" => opts.deny_warnings = true,
@@ -168,24 +191,34 @@ fn resolve_root(opts: &Options) -> OdrResult<PathBuf> {
     }
 }
 
-/// The `api` subcommand. Returns `Ok(true)` when the check passes (or
-/// when merely printing/updating), `Ok(false)` on a `--check` diff.
-fn run_api_pass(opts: &Options) -> OdrResult<bool> {
-    let root = resolve_root(opts)?;
-    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
-        let text = api::update_snapshot(&root)?;
+/// `UPDATE_GOLDEN=1` selects snapshot regeneration across subcommands.
+fn update_golden() -> bool {
+    std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1")
+}
+
+/// Wall time since `start` in whole microseconds.
+fn micros(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The `api` subcommand over the shared workspace. Returns
+/// `(clean, findings)`; merely printing or updating is always clean.
+fn run_api_pass(opts: &Options, root: &Path, ws: &Workspace) -> OdrResult<(bool, u64)> {
+    let current = api::collect_api_from(root, &ws.scans);
+    if update_golden() {
+        api::write_surface(root, &current)?;
         println!(
             "api: wrote {} ({} items)",
             api::SNAPSHOT_FILE,
-            text.lines().count()
+            current.lines().count()
         );
-        return Ok(true);
+        return Ok((true, 0));
     }
     if opts.api_check {
-        let diff = api::check_against_snapshot(&root)?;
+        let diff = api::check_surface(root, &current)?;
         if diff.is_empty() {
             println!("api: surface matches {}", api::SNAPSHOT_FILE);
-            return Ok(true);
+            return Ok((true, 0));
         }
         for line in &diff.added {
             println!("error: api: not in snapshot: {line}");
@@ -201,34 +234,32 @@ fn run_api_pass(opts: &Options) -> OdrResult<bool> {
             api::SNAPSHOT_FILE,
             api::SCRATCH_FILE
         );
-        return Ok(false);
+        return Ok((false, (diff.added.len() + diff.removed.len()) as u64));
     }
-    print!("{}", api::collect_api(&root)?);
-    Ok(true)
+    print!("{current}");
+    Ok((true, 0))
 }
 
 /// The `callgraph` subcommand. Mirrors [`run_api_pass`]: print by
 /// default, `--check` against the committed snapshot, `UPDATE_GOLDEN=1`
-/// regenerates it.
-fn run_callgraph_pass(opts: &Options) -> OdrResult<bool> {
-    let root = resolve_root(opts)?;
-    let (scans, _) = scan_tree(&root);
-    let g = graph::build_graph(&root, &scans);
-    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
-        let text = graph::update_snapshot(&root, &g)?;
+/// regenerates it. The graph comes pre-built from the shared workspace.
+fn run_callgraph_pass(opts: &Options, root: &Path, ws: &Workspace) -> OdrResult<(bool, u64)> {
+    let g = &ws.graph;
+    if update_golden() {
+        let text = graph::update_snapshot(root, g)?;
         println!(
             "callgraph: wrote {} ({} edges, {} unresolved call sites)",
             graph::SNAPSHOT_FILE,
             text.lines().count(),
             g.unresolved
         );
-        return Ok(true);
+        return Ok((true, 0));
     }
     if opts.callgraph_check {
-        let diff = graph::check_against_snapshot(&root, &g)?;
+        let diff = graph::check_against_snapshot(root, g)?;
         if diff.is_empty() {
             println!("callgraph: graph matches {}", graph::SNAPSHOT_FILE);
-            return Ok(true);
+            return Ok((true, 0));
         }
         for line in &diff.added {
             println!("error: callgraph: not in snapshot: {line}");
@@ -244,20 +275,59 @@ fn run_callgraph_pass(opts: &Options) -> OdrResult<bool> {
             graph::SNAPSHOT_FILE,
             graph::SCRATCH_FILE
         );
-        return Ok(false);
+        return Ok((false, (diff.added.len() + diff.removed.len()) as u64));
     }
     print!("{}", g.render());
-    Ok(true)
+    Ok((true, 0))
 }
 
-fn run_lint_pass(opts: &Options) -> OdrResult<bool> {
-    let root = resolve_root(opts)?;
+/// The `effects` subcommand. Same shape as [`run_api_pass`]: print the
+/// per-function effect surface, `--check` it against the committed
+/// snapshot, or regenerate with `UPDATE_GOLDEN=1`.
+fn run_effects_pass(opts: &Options, root: &Path, ws: &Workspace) -> OdrResult<(bool, u64)> {
+    let surface = effects::render_surface(&ws.graph, &ws.scans);
+    if update_golden() {
+        effects::update_snapshot(root, &surface)?;
+        println!(
+            "effects: wrote {} ({} functions with effects)",
+            effects::SNAPSHOT_FILE,
+            surface.lines().count()
+        );
+        return Ok((true, 0));
+    }
+    if opts.effects_check {
+        let diff = effects::check_against_snapshot(root, &surface)?;
+        if diff.is_empty() {
+            println!("effects: surface matches {}", effects::SNAPSHOT_FILE);
+            return Ok((true, 0));
+        }
+        for line in &diff.added {
+            println!("error: effects: not in snapshot: {line}");
+        }
+        for line in &diff.removed {
+            println!("error: effects: missing from tree: {line}");
+        }
+        println!(
+            "effects: {} added, {} removed vs {}; fresh surface written to {}.\n\
+             If the change is intentional, regenerate with: UPDATE_GOLDEN=1 odr-check effects",
+            diff.added.len(),
+            diff.removed.len(),
+            effects::SNAPSHOT_FILE,
+            effects::SCRATCH_FILE
+        );
+        return Ok((false, (diff.added.len() + diff.removed.len()) as u64));
+    }
+    print!("{surface}");
+    Ok((true, 0))
+}
+
+fn run_lint_pass(opts: &Options, root: &Path, ws: &Workspace) -> (bool, u64) {
     let allow_path = opts
         .allowlist
         .clone()
         .unwrap_or_else(|| root.join("odr-check.allow"));
     let allow = Allowlist::load(&allow_path);
-    let report = run_lints(&root, &allow);
+    let report = run_lints_on(ws, root, &allow);
 
     for v in &report.violations {
         println!("error: {v}");
@@ -274,11 +344,12 @@ fn run_lint_pass(opts: &Options) -> OdrResult<bool> {
     );
     let failed =
         !report.violations.is_empty() || (opts.deny_warnings && !report.warnings.is_empty());
-    Ok(!failed)
+    (!failed, report.violations.len() as u64)
 }
 
-fn run_model_pass(opts: &Options) -> bool {
+fn run_model_pass(opts: &Options) -> (bool, u64) {
     let mut ok = true;
+    let mut failures: u64 = 0;
     let mut total: u64 = 0;
     for scenario in standard_suite() {
         let dfs = explore_dfs(&scenario, opts.max_dfs);
@@ -294,6 +365,7 @@ fn run_model_pass(opts: &Options) -> bool {
         }
         if let Some(f) = &dfs.failure {
             ok = false;
+            failures += 1;
             println!(
                 "error: model: {}: {}\n  replay trace: {:?}",
                 scenario.name, f.message, f.trace
@@ -305,6 +377,7 @@ fn run_model_pass(opts: &Options) -> bool {
             total += rnd.executions;
             if let Some(f) = &rnd.failure {
                 ok = false;
+                failures += 1;
                 println!(
                     "error: model: {} (random, seed {}): {}\n  replay trace: {:?}",
                     scenario.name, opts.seed, f.message, f.trace
@@ -326,6 +399,7 @@ fn run_model_pass(opts: &Options) -> bool {
         }
         if let Some(f) = &dfs.failure {
             ok = false;
+            failures += 1;
             println!(
                 "error: model: {}: {}\n  replay trace: {:?}",
                 scenario.name, f.message, f.trace
@@ -337,6 +411,7 @@ fn run_model_pass(opts: &Options) -> bool {
             total += rnd.executions;
             if let Some(f) = &rnd.failure {
                 ok = false;
+                failures += 1;
                 println!(
                     "error: model: {} (random, seed {}): {}\n  replay trace: {:?}",
                     scenario.name, opts.seed, f.message, f.trace
@@ -346,6 +421,7 @@ fn run_model_pass(opts: &Options) -> bool {
     }
     if total < opts.min_interleavings {
         ok = false;
+        failures += 1;
         println!(
             "error: model: explored only {total} interleavings (< {} required)",
             opts.min_interleavings
@@ -357,7 +433,7 @@ fn run_model_pass(opts: &Options) -> bool {
         opts.seed,
         if ok { "all invariants hold" } else { "FAILURES" }
     );
-    ok
+    (ok, failures)
 }
 
 /// Runs the selected passes; `Ok(true)` means everything is clean.
@@ -366,21 +442,69 @@ fn run(opts: &Options) -> OdrResult<bool> {
         print!("{USAGE}");
         return Ok(true);
     }
-    if opts.api {
-        return run_api_pass(opts);
+    let root = resolve_root(opts)?;
+    let mut bench = BenchJson::default();
+
+    // One workspace load per invocation: every pass below shares these
+    // token/item views and this call graph.
+    let t_load = Instant::now();
+    let ws = load_workspace(&root);
+    bench
+        .int("files", ws.scans.len() as u64)
+        .int("load_us", micros(t_load));
+
+    let ok = if opts.api {
+        let t = Instant::now();
+        let (ok, findings) = run_api_pass(opts, &root, &ws)?;
+        bench.int("api_us", micros(t)).int("api_findings", findings);
+        ok
+    } else if opts.callgraph {
+        let t = Instant::now();
+        let (ok, findings) = run_callgraph_pass(opts, &root, &ws)?;
+        bench
+            .int("callgraph_us", micros(t))
+            .int("callgraph_findings", findings);
+        ok
+    } else if opts.effects {
+        let t = Instant::now();
+        let (ok, findings) = run_effects_pass(opts, &root, &ws)?;
+        bench
+            .int("effects_us", micros(t))
+            .int("effects_findings", findings);
+        ok
+    } else {
+        let mut ok = true;
+        if opts.lint {
+            let t = Instant::now();
+            let (lint_ok, findings) = run_lint_pass(opts, &root, &ws);
+            bench
+                .int("lint_us", micros(t))
+                .int("lint_findings", findings);
+            ok &= lint_ok;
+        }
+        if opts.model {
+            let t = Instant::now();
+            let (model_ok, failures) = run_model_pass(opts);
+            bench
+                .int("model_us", micros(t))
+                .int("model_findings", failures);
+            ok &= model_ok;
+        }
+        if ok {
+            println!("odr-check: OK");
+        }
+        ok
+    };
+
+    if let Some(rss) = peak_rss_bytes() {
+        bench.int("peak_rss_bytes", rss);
     }
-    if opts.callgraph {
-        return run_callgraph_pass(opts);
-    }
-    let mut ok = true;
-    if opts.lint {
-        ok &= run_lint_pass(opts)?;
-    }
-    if opts.model {
-        ok &= run_model_pass(opts);
-    }
-    if ok {
-        println!("odr-check: OK");
+    let bench_path = root.join("BENCH_check.json");
+    if let Err(e) = bench.write(&bench_path) {
+        eprintln!(
+            "odr-check: warning: cannot write {}: {e}",
+            bench_path.display()
+        );
     }
     Ok(ok)
 }

@@ -16,6 +16,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 use odr_check::atomics::atomics_rules;
+use odr_check::effects::effect_rules;
 use odr_check::graph::build_graph;
 use odr_check::lint::{
     determinism_rules, feature_rules, panic_rules, scan_file, units_rules, Allowlist, FileScan,
@@ -343,6 +344,97 @@ fn taint_workspace_flags_direct_and_transitive_edges() {
         transitive.message.contains("stamp_ns"),
         "chain witness missing: {}",
         transitive.message
+    );
+}
+
+#[test]
+fn effects_workspace_flags_hot_root_with_cross_crate_witness_chains() {
+    let (root, scans) = scan_fixture_tree("effects_bad");
+    let graph = build_graph(&root, &scans);
+
+    // The `// BAD: <rule>` markers sit on the *witness* lines in the
+    // helper crate; the violations themselves must land on the hot
+    // root's declaration line over in `app`.
+    let helpers_src =
+        std::fs::read_to_string(root.join("crates/helpers/src/lib.rs")).unwrap();
+    let witness_line: BTreeMap<String, usize> = bad_rules(&helpers_src)
+        .into_iter()
+        .map(|(line, rule)| (rule, line))
+        .collect();
+    assert_eq!(witness_line.len(), 3, "fixture should seed 3 effects");
+
+    let app_src = std::fs::read_to_string(root.join("crates/app/src/sim.rs")).unwrap();
+    let root_line = app_src
+        .lines()
+        .position(|l| l.contains("pub fn step"))
+        .expect("hot root missing from fixture")
+        + 1;
+
+    let mut report = LintReport::default();
+    effect_rules(
+        &graph,
+        &scans,
+        "app::sim::Loop::step | alloc,block,panic\n",
+        &Allowlist::default(),
+        &mut report,
+    );
+
+    // Exactly the three hot-path rules, all at the root's declaration.
+    let got: BTreeSet<(String, String, usize)> = report
+        .violations
+        .iter()
+        .map(|v| (v.rule.to_string(), v.path.clone(), v.line))
+        .collect();
+    let expected: BTreeSet<(String, String, usize)> =
+        ["effect/hot-alloc", "effect/hot-block", "effect/hot-panic"]
+            .into_iter()
+            .map(|rule| (rule.to_string(), "crates/app/src/sim.rs".to_string(), root_line))
+            .collect();
+    assert_eq!(got, expected, "violations: {:#?}", report.violations);
+
+    // Each message must carry the full two-hop, cross-crate chain and
+    // cite the marked witness line in the helper crate.
+    for (rule, via, sink) in [
+        ("effect/hot-alloc", "helpers::record", "helpers::push_sample"),
+        ("effect/hot-panic", "helpers::lookup", "helpers::pick"),
+        ("effect/hot-block", "helpers::drain", "helpers::settle"),
+    ] {
+        let v = report
+            .violations
+            .iter()
+            .find(|v| v.rule == rule)
+            .unwrap_or_else(|| panic!("{rule} missing"));
+        let chain = format!("app::sim::Loop::step -> {via} -> {sink}");
+        assert!(v.message.contains(&chain), "{rule}: {}", v.message);
+        let loc = format!("crates/helpers/src/lib.rs:{}", witness_line[rule]);
+        assert!(v.message.contains(&loc), "{rule}: {}", v.message);
+    }
+}
+
+#[test]
+fn effects_clean_corpus_is_silent_even_as_hot_roots() {
+    // Scanned at a real-tree path so `crates/core/Cargo.toml` supplies
+    // the crate prefix, exactly as in production runs.
+    let s = scan("effects_clean.rs", "crates/core/src/effects_clean.rs");
+    let scans = vec![s];
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let graph = build_graph(&root, &scans);
+
+    // Every function in the fixture is a hot root forbidding all three
+    // effects: the arena/swap idioms must produce zero findings.
+    let manifest = "\
+        odr_core::effects_clean::Slab::push | alloc,block,panic\n\
+        odr_core::effects_clean::Slab::pop | alloc,block,panic\n\
+        odr_core::effects_clean::Slab::first_word | alloc,block,panic\n\
+        odr_core::effects_clean::Slab::reset | alloc,block,panic\n\
+        odr_core::effects_clean::Cell::publish | alloc,block,panic\n\
+        odr_core::effects_clean::Cell::try_pop | alloc,block,panic\n";
+    let mut report = LintReport::default();
+    effect_rules(&graph, &scans, manifest, &Allowlist::default(), &mut report);
+    assert!(
+        report.violations.is_empty(),
+        "clean effects corpus flagged: {:#?}",
+        report.violations
     );
 }
 

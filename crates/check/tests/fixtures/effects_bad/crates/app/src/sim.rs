@@ -1,0 +1,18 @@
+//! Mini pipeline whose inner loop is a hot root. Every effect reaches
+//! `step` only through the `helpers` crate, so the analyzer must walk
+//! the cross-crate call graph — token scanning of this file alone sees
+//! nothing: no allocation, no blocking call, no panic path.
+
+use helpers::{drain, lookup, record};
+
+pub struct Loop {
+    samples: Vec<u64>,
+}
+
+impl Loop {
+    pub fn step(&mut self) {
+        record(7);
+        let _ = lookup(&self.samples, 3);
+        drain();
+    }
+}

@@ -25,16 +25,36 @@
 
 use odr_simtime::SimTime;
 
+/// The free-list terminator. Doubles as the "no slot" sentinel returned
+/// by [`EventArena::insert`] in the unreachable 2³²-live-events case.
+const NIL: u32 = u32::MAX;
+
+/// One arena cell: an event payload, or a link in the intrusive free
+/// list threaded through the vacated cells.
+#[derive(Debug)]
+enum Slot<E> {
+    Occupied(E),
+    Vacant { next: u32 },
+}
+
 /// A slab allocator for event payloads: stable `u32` slots, recycled
-/// through an internal free list.
+/// through a free list threaded *through the vacant cells themselves*.
 ///
-/// `insert` returns the slot index; `take` vacates it and pushes the slot
-/// onto the free list for the next insert. Slots are reused LIFO, which
-/// keeps the hot working set small and cache-resident.
+/// `insert` returns the slot index; `take` vacates it and links the cell
+/// into the free list for the next insert. Slots are reused LIFO, which
+/// keeps the hot working set small and cache-resident. Because the free
+/// list is intrusive there is exactly one backing allocation, and the
+/// steady state (recycled inserts, takes) touches neither the allocator
+/// nor any panicking index — growth is confined to one `#[cold]` slow
+/// path, which is what lets the effect pass prove the DES hot loop
+/// allocation-free (DESIGN.md §15).
 #[derive(Debug)]
 pub struct EventArena<E> {
-    slots: Vec<Option<E>>,
-    free: Vec<u32>,
+    slots: Vec<Slot<E>>,
+    /// Head of the vacant-cell list, [`NIL`] when none are free.
+    free_head: u32,
+    /// Occupied-cell count.
+    live: usize,
 }
 
 impl<E> EventArena<E> {
@@ -43,61 +63,89 @@ impl<E> EventArena<E> {
     pub fn new() -> Self {
         EventArena {
             slots: Vec::new(),
-            free: Vec::new(),
+            free_head: NIL,
+            live: 0,
         }
     }
 
     /// Stores `event` and returns its slot index.
     ///
-    /// # Panics
-    ///
-    /// Panics if more than `u32::MAX` events are simultaneously live.
+    /// More than `u32::MAX - 1` simultaneously live events saturates: the
+    /// event is dropped and [`NIL`] (`u32::MAX`) comes back, which a
+    /// debug build catches. No real session approaches that bound.
     pub fn insert(&mut self, event: E) -> u32 {
-        match self.free.pop() {
-            Some(slot) => {
-                debug_assert!(self.slots[slot as usize].is_none());
-                self.slots[slot as usize] = Some(event);
-                slot
-            }
-            None => {
-                let Ok(slot) = u32::try_from(self.slots.len()) else {
-                    panic!("event arena overflow");
-                };
-                self.slots.push(Some(event));
-                slot
-            }
+        let slot = self.free_head;
+        let Some(Slot::Vacant { next }) = self.slots.get(slot as usize) else {
+            return self.insert_grow(event);
+        };
+        self.free_head = *next;
+        if let Some(cell) = self.slots.get_mut(slot as usize) {
+            *cell = Slot::Occupied(event);
         }
+        self.live += 1;
+        slot
+    }
+
+    /// Growth slow path: no recycled slot available. Out of line so the
+    /// steady state stays allocation-free.
+    #[cold]
+    fn insert_grow(&mut self, event: E) -> u32 {
+        debug_assert_eq!(self.free_head, NIL, "free list corrupt");
+        let slot = u32::try_from(self.slots.len()).unwrap_or(NIL);
+        if slot == NIL {
+            debug_assert!(false, "event arena overflow");
+            return NIL;
+        }
+        self.slots.push(Slot::Occupied(event));
+        self.live += 1;
+        slot
     }
 
     /// Removes and returns the event at `slot`, recycling the slot.
     ///
-    /// # Panics
-    ///
-    /// Panics if `slot` is vacant (a double-take is always a logic bug).
-    pub fn take(&mut self, slot: u32) -> E {
-        let Some(event) = self.slots[slot as usize].take() else {
-            panic!("event arena slot taken twice");
+    /// A vacant or out-of-range `slot` (a double-take is always a logic
+    /// bug) returns `None` in release builds and trips a debug
+    /// assertion.
+    pub fn take(&mut self, slot: u32) -> Option<E> {
+        let Some(cell) = self.slots.get_mut(slot as usize) else {
+            debug_assert!(false, "event arena slot out of range");
+            return None;
         };
-        self.free.push(slot);
-        event
+        if matches!(cell, Slot::Vacant { .. }) {
+            debug_assert!(false, "event arena slot taken twice");
+            return None;
+        }
+        let prev = core::mem::replace(
+            cell,
+            Slot::Vacant {
+                next: self.free_head,
+            },
+        );
+        self.free_head = slot;
+        self.live = self.live.saturating_sub(1);
+        match prev {
+            Slot::Occupied(event) => Some(event),
+            Slot::Vacant { .. } => None,
+        }
     }
 
     /// Number of live (occupied) slots.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.slots.len() - self.free.len()
+        self.live
     }
 
     /// Returns `true` if no slot is occupied.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
     }
 
-    /// Vacates every slot while keeping the backing allocations.
+    /// Vacates every slot while keeping the backing allocation.
     pub fn reset(&mut self) {
         self.slots.clear();
-        self.free.clear();
+        self.free_head = NIL;
+        self.live = 0;
     }
 }
 
@@ -149,7 +197,12 @@ impl HeapEntry {
 #[derive(Debug)]
 pub struct SlabEventQueue<E> {
     arena: EventArena<E>,
+    /// Heap storage. The live heap is the prefix `heap[..heap_len]`;
+    /// entries past it are retained spare capacity (stale `Copy` data),
+    /// so a steady-state push writes into already-initialized storage
+    /// instead of growing the vector.
     heap: Vec<HeapEntry>,
+    heap_len: usize,
     next_seq: u64,
 }
 
@@ -160,6 +213,7 @@ impl<E> SlabEventQueue<E> {
         SlabEventQueue {
             arena: EventArena::new(),
             heap: Vec::new(),
+            heap_len: 0,
             next_seq: 0,
         }
     }
@@ -169,40 +223,58 @@ impl<E> SlabEventQueue<E> {
         let slot = self.arena.insert(event);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(HeapEntry { time, seq, slot });
-        self.sift_up(self.heap.len() - 1);
+        let entry = HeapEntry { time, seq, slot };
+        if let Some(cell) = self.heap.get_mut(self.heap_len) {
+            *cell = entry;
+            self.heap_len += 1;
+        } else {
+            self.heap_grow(entry);
+        }
+        self.sift_up(self.heap_len - 1);
+    }
+
+    /// Heap growth slow path, out of line like [`EventArena::insert_grow`].
+    #[cold]
+    fn heap_grow(&mut self, entry: HeapEntry) {
+        debug_assert_eq!(self.heap_len, self.heap.len());
+        self.heap.push(entry);
+        self.heap_len += 1;
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        if self.heap.is_empty() {
+        if self.heap_len == 0 {
             return None;
         }
-        let last = self.heap.len() - 1;
-        self.heap.swap(0, last);
-        let entry = self.heap.pop()?;
-        if !self.heap.is_empty() {
+        self.heap.swap(0, self.heap_len - 1);
+        self.heap_len -= 1;
+        let entry = self.heap.get(self.heap_len).copied()?;
+        if self.heap_len > 0 {
             self.sift_down(0);
         }
-        Some((entry.time, self.arena.take(entry.slot)))
+        let event = self.arena.take(entry.slot)?;
+        Some((entry.time, event))
     }
 
     /// Returns the fire time of the earliest pending event.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
+        if self.heap_len == 0 {
+            return None;
+        }
         self.heap.first().map(|e| e.time)
     }
 
     /// Returns the number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap_len
     }
 
     /// Returns `true` if no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap_len == 0
     }
 
     /// Returns the queue to its freshly-constructed state — empty, seq
@@ -212,15 +284,26 @@ impl<E> SlabEventQueue<E> {
     /// indistinguishable from `SlabEventQueue::new()` to any caller, so a
     /// simulation run on a recycled queue produces bit-identical results.
     pub fn reset(&mut self) {
-        self.heap.clear();
+        self.heap_len = 0;
         self.arena.reset();
         self.next_seq = 0;
+    }
+
+    /// The ordering key of live entry `i`, `None` past the live prefix.
+    fn key_at(&self, i: usize) -> Option<(SimTime, u64)> {
+        if i >= self.heap_len {
+            return None;
+        }
+        self.heap.get(i).map(HeapEntry::key)
     }
 
     fn sift_up(&mut self, mut child: usize) {
         while child > 0 {
             let parent = (child - 1) / 2;
-            if self.heap[child].key() < self.heap[parent].key() {
+            let (Some(c), Some(p)) = (self.key_at(child), self.key_at(parent)) else {
+                break;
+            };
+            if c < p {
                 self.heap.swap(child, parent);
                 child = parent;
             } else {
@@ -232,19 +315,16 @@ impl<E> SlabEventQueue<E> {
     fn sift_down(&mut self, mut parent: usize) {
         loop {
             let left = 2 * parent + 1;
-            if left >= self.heap.len() {
+            let (Some(pk), Some(lk)) = (self.key_at(parent), self.key_at(left)) else {
                 break;
-            }
-            let right = left + 1;
-            let smallest_child =
-                if right < self.heap.len() && self.heap[right].key() < self.heap[left].key() {
-                    right
-                } else {
-                    left
-                };
-            if self.heap[smallest_child].key() < self.heap[parent].key() {
-                self.heap.swap(parent, smallest_child);
-                parent = smallest_child;
+            };
+            let (child, ck) = match self.key_at(left + 1) {
+                Some(rk) if rk < lk => (left + 1, rk),
+                _ => (left, lk),
+            };
+            if ck < pk {
+                self.heap.swap(parent, child);
+                parent = child;
             } else {
                 break;
             }
@@ -318,13 +398,28 @@ mod tests {
         let s0 = a.insert("a");
         let s1 = a.insert("b");
         assert_eq!(a.len(), 2);
-        assert_eq!(a.take(s0), "a");
+        assert_eq!(a.take(s0), Some("a"));
         // LIFO recycling: the vacated slot is handed right back.
         let s2 = a.insert("c");
         assert_eq!(s2, s0);
-        assert_eq!(a.take(s1), "b");
-        assert_eq!(a.take(s2), "c");
+        assert_eq!(a.take(s1), Some("b"));
+        assert_eq!(a.take(s2), Some("c"));
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn free_list_threads_through_vacated_cells() {
+        let mut a = EventArena::new();
+        let slots: Vec<u32> = (0..4).map(|i| a.insert(i)).collect();
+        // Vacate in order; reuse must come back LIFO (3, 2, 1, 0).
+        for s in &slots {
+            assert!(a.take(*s).is_some());
+        }
+        assert!(a.is_empty());
+        for expect in [3, 2, 1, 0] {
+            assert_eq!(a.insert(99), expect);
+        }
+        assert_eq!(a.len(), 4);
     }
 
     #[test]

@@ -158,9 +158,13 @@ impl SlotLayout {
     }
 
     /// Slot index for absolute position `pos`.
+    ///
+    /// `capacity` is validated nonzero at construction, so the checked
+    /// remainder never misses; an (impossible) zero capacity maps to
+    /// slot 0 instead of dividing by zero.
     #[must_use]
     pub fn slot(&self, pos: u64) -> usize {
-        (pos % self.capacity as u64) as usize
+        usize::try_from(pos.checked_rem(self.capacity as u64).unwrap_or(0)).unwrap_or(0)
     }
 
     /// Initial value of the control word at `loc`: zero for the scalar
@@ -942,12 +946,22 @@ impl Gate {
         }
     }
 
-    /// Wakes every parked waiter. Cheap when nobody waits.
+    /// Wakes every parked waiter. Cheap when nobody waits: the fast
+    /// path is a fence plus one load, and the locked epoch bump lives
+    /// out of line so the wait-free `try_*` entry points stay free of
+    /// blocking effects (a waiter being parked is the one case where
+    /// taking the epoch lock is the point).
     fn signal_all(&self) {
         fence(Ordering::SeqCst);
         if self.waiters.load(Ordering::SeqCst) == 0 {
             return;
         }
+        self.signal_slow();
+    }
+
+    /// The contended wake: bump the epoch under the lock and notify.
+    #[cold]
+    fn signal_slow(&self) {
         let mut epoch = relock(self.epoch.lock());
         *epoch = epoch.wrapping_add(1);
         drop(epoch);
@@ -1337,24 +1351,34 @@ impl<T> AtomicSwap<T> {
         self.gate_space.signal_all();
     }
 
+    /// Loads the scalar control word at `loc`. The scalar words occupy
+    /// indices 0–3 of the `4 + capacity` control array, so the lookup
+    /// never misses; a missing word reads as 0.
+    fn word(&self, loc: usize) -> u64 {
+        self.shared
+            .cells
+            .get(loc)
+            .map_or(0, |w| w.load(Ordering::Acquire))
+    }
+
     /// Returns `true` once [`AtomicSwap::close`] has been called.
     #[must_use]
     pub fn is_closed(&self) -> bool {
-        self.shared.cells[SlotLayout::CLOSED].load(Ordering::Acquire) != 0
+        self.word(SlotLayout::CLOSED) != 0
     }
 
     /// Total frames dropped by overwrites or priority flushes.
     #[must_use]
     pub fn drops(&self) -> u64 {
-        self.shared.cells[SlotLayout::DROPS].load(Ordering::Acquire)
+        self.word(SlotLayout::DROPS)
     }
 
     /// Pending frame count. Advisory under concurrency: head and tail
     /// are loaded separately.
     #[must_use]
     pub fn len(&self) -> usize {
-        let head = self.shared.cells[SlotLayout::HEAD].load(Ordering::Acquire);
-        let tail = self.shared.cells[SlotLayout::TAIL].load(Ordering::Acquire);
+        let head = self.word(SlotLayout::HEAD);
+        let tail = self.word(SlotLayout::TAIL);
         head.saturating_sub(tail) as usize
     }
 

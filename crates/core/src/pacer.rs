@@ -59,9 +59,12 @@ impl IntervalPacer {
     /// next boundary.
     #[must_use]
     pub fn frame_start(&mut self, now: SimTime) -> SimTime {
+        // The interval is validated positive at construction, so the
+        // checked remainder never misses; an (impossible) zero interval
+        // degenerates to "start immediately".
         let iv = odr_simtime::time::duration_nanos(self.interval);
         let nanos = now.as_nanos();
-        let rem = nanos % iv;
+        let rem = nanos.checked_rem(iv).unwrap_or(0);
         if rem == 0 {
             now
         } else {
@@ -163,7 +166,11 @@ impl AdaptiveIntervalPacer {
             current * (1.0 - self.recovery)
         };
         let next = next.max(self.min_interval.as_secs_f64());
-        self.pacer = IntervalPacer::from_interval(secs_f64(next));
+        // `next` is clamped to the positive `min_interval`, so construct
+        // directly instead of re-validating through `from_interval`.
+        self.pacer = IntervalPacer {
+            interval: secs_f64(next),
+        };
     }
 
     /// Returns when a frame ready at `now` may start rendering.

@@ -39,9 +39,12 @@ impl VblankClock {
     /// The first vblank at or after `now`.
     #[must_use]
     pub fn next_vblank(&self, now: SimTime) -> SimTime {
+        // The refresh rate is validated positive at construction, so
+        // the checked remainder never misses; an (impossible) zero
+        // period degenerates to "vblank now".
         let p = odr_simtime::time::duration_nanos(self.period);
         let nanos = now.as_nanos();
-        let rem = nanos % p;
+        let rem = nanos.checked_rem(p).unwrap_or(0);
         if rem == 0 {
             now
         } else {

@@ -261,12 +261,16 @@ impl MemoryModel {
 
     /// Marks `client` as running (`true`) or idle (`false`) at time `now`.
     pub fn set_active(&mut self, now: SimTime, client: MemClient, active: bool) {
+        // `index()` is < 4 by construction, so both lookups always hit.
         let idx = client.index();
-        if self.active[idx] == active {
+        let (Some(flag), Some(tw)) = (self.active.get_mut(idx), self.util_tw.get_mut(idx)) else {
+            return;
+        };
+        if *flag == active {
             return;
         }
-        self.active[idx] = active;
-        self.util_tw[idx].set(now, if active { 1.0 } else { 0.0 });
+        *flag = active;
+        tw.set(now, if active { 1.0 } else { 0.0 });
         self.refresh(now);
     }
 
@@ -312,7 +316,7 @@ impl MemoryModel {
     pub fn power_w(&self) -> f64 {
         let mut p = self.power.idle_w;
         for c in MemClient::ALL {
-            if self.active[c.index()] {
+            if self.active.get(c.index()).copied().unwrap_or(false) {
                 p += self.power.weight(c);
             }
         }
@@ -326,15 +330,18 @@ impl MemoryModel {
         // weighted too.
         self.refresh(end);
         let mut utilisation = [0.0; 4];
-        for c in MemClient::ALL {
-            let idx = c.index();
-            let v = self.util_tw[idx].current();
-            self.util_tw[idx].set(end, v);
-            utilisation[idx] = self.util_tw[idx].mean(end);
+        for (tw, util) in self.util_tw.iter_mut().zip(utilisation.iter_mut()) {
+            let v = tw.current();
+            tw.set(end, v);
+            *util = tw.mean(end);
         }
         let mut power_w = self.power.idle_w;
         for c in MemClient::ALL {
-            let util = utilisation[c.index()].clamp(0.0, 1.0);
+            let util = utilisation
+                .get(c.index())
+                .copied()
+                .unwrap_or(0.0)
+                .clamp(0.0, 1.0);
             if util > 0.0 {
                 power_w += self.power.weight(c) * util.powf(self.power.util_exponent);
             }

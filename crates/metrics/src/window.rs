@@ -64,7 +64,9 @@ impl WindowedRate {
         if idx >= self.counts.len() {
             self.counts.resize(idx + 1, 0);
         }
-        self.counts[idx] += 1;
+        if let Some(slot) = self.counts.get_mut(idx) {
+            *slot += 1;
+        }
         self.total += 1;
     }
 

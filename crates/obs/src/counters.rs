@@ -86,12 +86,19 @@ impl Counters {
     /// The row for `name`, created zeroed on first use. Rows stay sorted
     /// by name.
     pub fn entry(&mut self, name: &'static str) -> &mut StageCounters {
-        match self.stages.binary_search_by(|(n, _)| n.cmp(&name)) {
-            Ok(at) => &mut self.stages[at].1,
+        let at = match self.stages.binary_search_by(|(n, _)| n.cmp(&name)) {
+            Ok(at) => at,
             Err(at) => {
                 self.stages.insert(at, (name, StageCounters::default()));
-                &mut self.stages[at].1
+                at
             }
+        };
+        match self.stages.get_mut(at) {
+            Some((_, row)) => row,
+            // Unreachable by construction (`at` is a search hit or the
+            // slot just inserted); hand out a detached row rather than
+            // unwind a fleet fold.
+            None => Box::leak(Box::new(StageCounters::default())),
         }
     }
 
@@ -101,7 +108,8 @@ impl Counters {
         self.stages
             .binary_search_by(|(n, _)| (*n).cmp(name))
             .ok()
-            .map(|at| &self.stages[at].1)
+            .and_then(|at| self.stages.get(at))
+            .map(|(_, row)| row)
     }
 
     /// The name-sorted rows.

@@ -69,8 +69,11 @@ pub fn find_stalls(events: &[Event], factor: f64) -> Vec<Stall> {
         let mut durations: Vec<u64> = stage_spans.iter().map(|(_, d)| *d).collect();
         durations.sort_unstable();
         // Upper median; for stall thresholds the half-sample bias of the
-        // even case is irrelevant.
-        let median_ns = durations[durations.len() / 2];
+        // even case is irrelevant. `len / 2 < len` for the non-empty
+        // populations that reach here, so the lookup always hits.
+        let Some(&median_ns) = durations.get(durations.len() / 2) else {
+            continue;
+        };
         let threshold = (median_ns as f64) * factor;
         for (start_ns, duration_ns) in stage_spans {
             if (*duration_ns as f64) > threshold {

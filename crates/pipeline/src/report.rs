@@ -96,7 +96,11 @@ pub fn pacing_stats(intervals_ms: &[f64]) -> (f64, f64) {
     let cv = var.sqrt() / mean;
     let mut sorted = intervals_ms.to_vec();
     sorted.sort_by(f64::total_cmp);
-    let median = sorted[sorted.len() / 2];
+    // `len / 2 < len` and at least two intervals reach here, so the
+    // lookup always hits.
+    let Some(&median) = sorted.get(sorted.len() / 2) else {
+        return (cv, 0.0);
+    };
     let stutters = intervals_ms.iter().filter(|&&x| x > 2.0 * median).count();
     (cv, stutters as f64 / n)
 }

@@ -61,18 +61,18 @@ pub(crate) struct FrameLanes {
 
 impl FrameLanes {
     /// Appends a frame row and returns its ref. Ids are assigned densely
-    /// in creation order.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a session creates more than `u32::MAX` frames.
+    /// in creation order; allocation saturates at `u32::MAX - 1` rows
+    /// (over four billion frames in one session, unreachable in practice
+    /// and flagged by debug builds), after which the sentinel ref reads
+    /// back as an empty row.
     pub(crate) fn alloc(
         &mut self,
         priority_input: Option<u64>,
         answers_upto: Option<u64>,
     ) -> FrameRef {
         let Ok(id) = u32::try_from(self.priority_input.len()) else {
-            panic!("frame lanes overflow");
+            debug_assert!(false, "frame lanes overflow");
+            return FrameRef(u32::MAX);
         };
         self.priority_input.push(priority_input);
         self.answers_upto.push(answers_upto);
@@ -83,32 +83,41 @@ impl FrameLanes {
 
     #[inline]
     pub(crate) fn is_priority(&self, frame: FrameRef) -> bool {
-        self.priority_input[frame.0 as usize].is_some()
+        self.priority_input
+            .get(frame.0 as usize)
+            .is_some_and(Option::is_some)
     }
 
     #[inline]
     pub(crate) fn answers_upto(&self, frame: FrameRef) -> Option<u64> {
-        self.answers_upto[frame.0 as usize]
+        self.answers_upto.get(frame.0 as usize).copied().flatten()
     }
 
     #[inline]
     pub(crate) fn render_end(&self, frame: FrameRef) -> SimTime {
-        self.render_end[frame.0 as usize]
+        self.render_end
+            .get(frame.0 as usize)
+            .copied()
+            .unwrap_or(SimTime::ZERO)
     }
 
     #[inline]
     pub(crate) fn set_render_end(&mut self, frame: FrameRef, at: SimTime) {
-        self.render_end[frame.0 as usize] = at;
+        if let Some(slot) = self.render_end.get_mut(frame.0 as usize) {
+            *slot = at;
+        }
     }
 
     #[inline]
     pub(crate) fn size(&self, frame: FrameRef) -> u64 {
-        self.size[frame.0 as usize]
+        self.size.get(frame.0 as usize).copied().unwrap_or(0)
     }
 
     #[inline]
     pub(crate) fn set_size(&mut self, frame: FrameRef, size: u64) {
-        self.size[frame.0 as usize] = size;
+        if let Some(slot) = self.size.get_mut(frame.0 as usize) {
+            *slot = size;
+        }
     }
 
     /// Drops every row, keeping lane capacity for the next session.

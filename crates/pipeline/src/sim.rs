@@ -329,6 +329,9 @@ struct Sim<'a> {
     /// Frame awaiting its presentation slot (VSync/FreeSync only).
     pending_present: Option<FrameRef>,
     present_scheduled: bool,
+    /// Vblank grid for `ClientDisplay::VSync`, built once at session
+    /// setup so the per-frame present path never re-validates the rate.
+    vsync_clock: Option<odr_core::rvs::VblankClock>,
     display_drops: u64,
 
     // Inputs.
@@ -411,6 +414,12 @@ impl<'a> Sim<'a> {
             last_display: None,
             pending_present: None,
             present_scheduled: false,
+            vsync_clock: match cfg.display {
+                ClientDisplay::VSync { refresh_hz } => {
+                    Some(odr_core::rvs::VblankClock::new(refresh_hz))
+                }
+                _ => None,
+            },
             display_drops: 0,
             next_input_id: 0,
             answered_upto: 0,
@@ -635,8 +644,10 @@ impl<'a> Sim<'a> {
                 Publish::ReplacedNewest => self.mark_dropped_newest_before(frame.id()),
                 Publish::WouldBlock(_) => {
                     // Space was checked before rendering began and the app
-                    // is the only producer.
-                    unreachable!("Mul-Buf1 filled while the app held the back buffer")
+                    // is the only producer, so this cannot fire; if the
+                    // invariant ever broke, dropping the frame beats
+                    // unwinding the pipeline mid-step.
+                    debug_assert!(false, "Mul-Buf1 filled while the app held the back buffer");
                 }
             }
         }
@@ -796,7 +807,14 @@ impl<'a> Sim<'a> {
                     self.parked_frame = Some(f);
                     self.proxy_state = ProxyState::BlockedOnBuffer;
                 }
-                Publish::ReplacedNewest => unreachable!("Mul-Buf2 is a blocking queue"),
+                Publish::ReplacedNewest => {
+                    // Mul-Buf2 is a blocking queue, so a publish never
+                    // replaces; if that invariant ever broke, continuing
+                    // the proxy cycle beats unwinding mid-step.
+                    debug_assert!(false, "Mul-Buf2 is a blocking queue");
+                    self.sender_take();
+                    self.proxy_finish_cycle(is_priority);
+                }
             }
         } else {
             // Baselines: blocking write straight into the downlink socket.
@@ -997,7 +1015,7 @@ impl<'a> Sim<'a> {
     fn client_present(&mut self, frame: FrameRef) {
         match self.cfg.display {
             ClientDisplay::Immediate => self.present_now(frame),
-            ClientDisplay::VSync { refresh_hz } => {
+            ClientDisplay::VSync { .. } => {
                 // Coalesce: a newer decode before the vblank replaces the
                 // pending frame, which is then never shown.
                 if self.pending_present.replace(frame).is_some() {
@@ -1009,7 +1027,11 @@ impl<'a> Sim<'a> {
                     ));
                 }
                 if !self.present_scheduled {
-                    let clock = odr_core::rvs::VblankClock::new(refresh_hz);
+                    // The clock exists whenever the display is VSync (built
+                    // in `Sim::new` from the same config).
+                    let Some(clock) = self.vsync_clock else {
+                        return;
+                    };
                     let vblank = clock.next_vblank(self.now + Duration::from_nanos(1));
                     self.scratch.events.push(vblank, Event::Present);
                     self.present_scheduled = true;
@@ -1073,7 +1095,11 @@ impl<'a> Sim<'a> {
                 let Ok(idx) = usize::try_from(self.answered_upto) else {
                     break; // unreachable on 64-bit targets
                 };
-                let created = self.scratch.input_created[idx];
+                // Every answered id was pushed by `on_input_created`
+                // before the frame that answers it was simulated.
+                let Some(&created) = self.scratch.input_created.get(idx) else {
+                    break;
+                };
                 if created >= self.warmup {
                     self.mtp_ms
                         .record(self.now.saturating_since(created).as_secs_f64() * 1e3);

@@ -128,11 +128,15 @@ impl Rng {
     /// Draws from an exponential distribution with the given rate (events
     /// per unit).
     ///
-    /// # Panics
-    ///
-    /// Panics if `rate` is not strictly positive.
+    /// Workload models validate their rates at construction, so a
+    /// non-positive `rate` is a logic bug: debug builds assert, release
+    /// builds return `0.0` (an immediate event) rather than unwinding
+    /// the DES hot loop.
     pub fn exponential(&mut self, rate: f64) -> f64 {
-        assert!(rate > 0.0, "exponential rate must be positive");
+        debug_assert!(rate > 0.0, "exponential rate must be positive");
+        if !(rate > 0.0) {
+            return 0.0;
+        }
         let mut u = self.next_f64();
         while u <= f64::MIN_POSITIVE {
             u = self.next_f64();
@@ -144,14 +148,17 @@ impl Rng {
     ///
     /// Used for the heavy spike tail of frame processing times.
     ///
-    /// # Panics
-    ///
-    /// Panics if `xm` or `alpha` is not strictly positive.
+    /// As with [`Rng::exponential`], non-positive parameters are a logic
+    /// bug caught by debug builds; release builds return `xm` (the
+    /// distribution's lower bound) rather than unwinding.
     pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
-        assert!(
+        debug_assert!(
             xm > 0.0 && alpha > 0.0,
             "pareto parameters must be positive"
         );
+        if !(xm > 0.0 && alpha > 0.0) {
+            return xm;
+        }
         let mut u = self.next_f64();
         while u <= f64::MIN_POSITIVE {
             u = self.next_f64();

@@ -33,25 +33,46 @@ echo "== odr-check: call-graph snapshot =="
 # -- callgraph.
 cargo run --release -q -p odr-check -- callgraph --check
 
+echo "== odr-check: effect-surface snapshot =="
+# The transitive effect surface (allocates/blocks/panics per workspace
+# fn, DESIGN.md §15) must match the committed effect-surface.txt;
+# regenerate deliberately with UPDATE_GOLDEN=1 cargo run -p odr-check
+# -- effects.
+cargo run --release -q -p odr-check -- effects --check
+
+echo "== odr-check: hot paths stay effect-free =="
+# The hot-root manifest (hotpaths.txt) is enforced by the lint pass
+# above; here we pin the stronger contract that no effect/* rule is
+# ever suppressed — the hot paths are genuinely clean, not allowlisted.
+if grep -E '^[[:space:]]*effect/' odr-check.allow >/dev/null 2>&1; then
+    echo "effect/* rules must never be allowlisted (fix the code)" >&2
+    exit 1
+fi
+echo "no effect/* allowlist entries"
+
 echo "== odr-check: byte-determinism differential =="
 # The analyzer itself must be deterministic: two runs of the lint pass
 # (which now spans the atomics, taint, and graph rule families) and two
-# renderings of the API surface and the call graph must be
-# byte-identical.
+# renderings of the API surface, the call graph, and the effect surface
+# must be byte-identical.
 lint_a="$(mktemp)"; lint_b="$(mktemp)"
 api_a="$(mktemp)"; api_b="$(mktemp)"
 graph_a="$(mktemp)"; graph_b="$(mktemp)"
+eff_a="$(mktemp)"; eff_b="$(mktemp)"
 cargo run --release -q -p odr-check -- --lint-only >"$lint_a"
 cargo run --release -q -p odr-check -- --lint-only >"$lint_b"
 cargo run --release -q -p odr-check -- api >"$api_a"
 cargo run --release -q -p odr-check -- api >"$api_b"
 cargo run --release -q -p odr-check -- callgraph >"$graph_a"
 cargo run --release -q -p odr-check -- callgraph >"$graph_b"
+cargo run --release -q -p odr-check -- effects >"$eff_a"
+cargo run --release -q -p odr-check -- effects >"$eff_b"
 cmp "$lint_a" "$lint_b" || { echo "lint pass is nondeterministic" >&2; exit 1; }
 cmp "$api_a" "$api_b" || { echo "api surface is nondeterministic" >&2; exit 1; }
 cmp "$graph_a" "$graph_b" || { echo "call graph is nondeterministic" >&2; exit 1; }
-rm -f "$lint_a" "$lint_b" "$api_a" "$api_b" "$graph_a" "$graph_b"
-echo "lint + api + callgraph output byte-identical across runs"
+cmp "$eff_a" "$eff_b" || { echo "effect surface is nondeterministic" >&2; exit 1; }
+rm -f "$lint_a" "$lint_b" "$api_a" "$api_b" "$graph_a" "$graph_b" "$eff_a" "$eff_b"
+echo "lint + api + callgraph + effects output byte-identical across runs"
 
 echo "== observability feature matrix =="
 # The obs capture path is a default-on feature; both halves of the
