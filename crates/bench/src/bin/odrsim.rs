@@ -55,6 +55,24 @@
 //! the byte-deterministic `ClusterReport::to_text`; with `--trace-out`
 //! the control plane's placement/admission/failure events are exported
 //! on the `cluster` track.
+//!
+//! Serving mode (`--serve`) leaves the simulator behind: it binds a real
+//! TCP listener and multiplexes live runtime sessions with the same SLO
+//! admission check the cluster scheduler uses (see `odr_serve`):
+//!
+//! * `--listen <addr>` — bind address \[127.0.0.1:7401\]
+//! * `--max-sessions <n>` — resident-session cap \[8\]
+//! * `--exit-after <n>` — drain and report after n departures
+//!   (runs until killed when omitted)
+//! * `--telemetry <path>` — stream live observability JSONL to `<path>`
+//!
+//! `--benchmark`/`--resolution`/`--platform` pick the scenario whose
+//! calibrated models price admission; `--slo-fps`/`--slo-mtp` keep their
+//! cluster-mode meaning. Client mode (`--connect <addr>`) dials a server
+//! and replays a seeded input trace; `--regulation`/`--target` select
+//! the session's regulation (`rvs` is simulator-only), `--duration`,
+//! `--seed` and `--rate <hz>` shape the trace, and the client-side
+//! runtime report prints on exit.
 
 use cloud3d_odr::prelude::*;
 
@@ -78,6 +96,14 @@ fn main() {
     } else {
         config.experiment
     };
+    if let Some(serve) = &config.serve {
+        run_serve(serve, &config.experiment);
+        return;
+    }
+    if let Some(connect) = &config.connect {
+        run_connect(connect);
+        return;
+    }
     if let Some(cluster) = &config.cluster {
         let cfg = cluster_config(cluster, &config, &experiment);
         let started = std::time::Instant::now();
@@ -178,6 +204,85 @@ fn write_trace(path: &str, format: TraceFormat, obs: &ObsReport) {
     eprintln!("trace: {} events -> {path}", obs.events.len());
 }
 
+/// Binds the TCP serving surface and blocks until it drains (after
+/// `--exit-after` departures) or the process is killed.
+fn run_serve(serve: &ServeArgs, experiment: &ExperimentConfig) {
+    let cfg = ServeConfig {
+        max_sessions: serve.max_sessions,
+        scenario: experiment.scenario,
+        slo: Slo {
+            min_fps: serve.slo_fps,
+            max_mtp_ms: serve.slo_mtp,
+            ..Slo::default()
+        },
+        obs: serve.telemetry.is_some(),
+        telemetry: serve.telemetry.clone().map(std::path::PathBuf::from),
+        exit_after: serve.exit_after,
+        ..ServeConfig::default()
+    };
+    let server = match Server::bind(serve.listen.as_str(), cfg) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "serving on {} ({} session slots)",
+        server.addr(),
+        serve.max_sessions
+    );
+    match server.join() {
+        Ok(report) => {
+            println!(
+                "serve: admitted {}, rejected {}, departures {}",
+                report.admitted,
+                report.rejected,
+                report.departures.len()
+            );
+            for d in &report.departures {
+                println!(
+                    "session {}: sent {} frames ({} dropped, {} priority), \
+                     {} inputs, {} bytes, {} ms",
+                    d.session,
+                    d.frames_sent,
+                    d.frames_dropped,
+                    d.priority_frames,
+                    d.inputs,
+                    d.bytes_sent,
+                    d.elapsed_ms
+                );
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Dials a server, replays the seeded input trace, and prints the
+/// client-side runtime report.
+fn run_connect(connect: &ConnectArgs) {
+    let cfg = ClientConfig {
+        connect: connect.addr.clone(),
+        session: SessionConfig {
+            regulation: connect.regulation,
+            ..SessionConfig::default()
+        },
+        duration: connect.duration,
+        input_rate_hz: connect.rate,
+        seed: connect.seed,
+    };
+    match run_client(&cfg) {
+        Ok(outcome) => print!("{}", outcome_to_text(&outcome)),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
 const USAGE: &str = "odrsim — simulate one cloud-3D configuration
   --benchmark STK|0AD|RE|D2|IM|ITP     [IM]
   --resolution 720p|1080p              [720p]
@@ -203,7 +308,35 @@ const USAGE: &str = "odrsim — simulate one cloud-3D configuration
   --slo-fps <fps>                      admission SLO: min FPS       [30]
   --slo-mtp <ms>                       admission SLO: max MtP       [250]
   --kill-node <t>:<idx>                kill node idx at t seconds (repeatable)
-  --no-measure                         skip measured per-node sub-fleets";
+  --no-measure                         skip measured per-node sub-fleets
+  --serve                              serve mode: real TCP sessions + admission
+  --listen <addr>                      serve bind address     [127.0.0.1:7401]
+  --max-sessions <n>                   serve resident-session cap   [8]
+  --exit-after <n>                     serve: drain after n departures
+  --telemetry <path>                   serve: stream live obs JSONL to <path>
+  --connect <addr>                     client mode: dial a server and replay
+  --rate <hz>                          client mean input rate       [2]";
+
+/// Serve-mode options gathered by [`parse`].
+#[derive(Debug)]
+struct ServeArgs {
+    listen: String,
+    max_sessions: usize,
+    exit_after: Option<u64>,
+    telemetry: Option<String>,
+    slo_fps: f64,
+    slo_mtp: f64,
+}
+
+/// Client-mode options gathered by [`parse`].
+#[derive(Debug)]
+struct ConnectArgs {
+    addr: String,
+    regulation: Regulation,
+    rate: f64,
+    duration: std::time::Duration,
+    seed: u64,
+}
 
 /// Cluster-mode options gathered by [`parse`].
 #[derive(Debug)]
@@ -269,6 +402,8 @@ struct Parsed {
     threads: usize,
     fidelity: FidelityMode,
     cluster: Option<ClusterArgs>,
+    serve: Option<ServeArgs>,
+    connect: Option<ConnectArgs>,
     experiment: ExperimentConfig,
 }
 
@@ -299,6 +434,14 @@ fn parse(args: &[String]) -> OdrResult<Parsed> {
     let mut slo_mtp = 250.0f64;
     let mut kills: Vec<(f64, u32)> = Vec::new();
     let mut measure = true;
+    let mut serve = false;
+    let mut listen: Option<String> = None;
+    let mut max_sessions = 8usize;
+    let mut max_sessions_set = false;
+    let mut exit_after: Option<u64> = None;
+    let mut telemetry: Option<String> = None;
+    let mut connect_addr: Option<String> = None;
+    let mut rate: Option<f64> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -459,6 +602,37 @@ fn parse(args: &[String]) -> OdrResult<Parsed> {
                 kills.push((at, node));
             }
             "--no-measure" => measure = false,
+            "--serve" => serve = true,
+            "--listen" => listen = Some(value("--listen")?.clone()),
+            "--max-sessions" => {
+                max_sessions = value("--max-sessions")?
+                    .parse()
+                    .map_err(|_| OdrError::arg("bad session cap"))?;
+                if max_sessions == 0 {
+                    return Err(OdrError::arg("need at least one session slot"));
+                }
+                max_sessions_set = true;
+            }
+            "--exit-after" => {
+                let n: u64 = value("--exit-after")?
+                    .parse()
+                    .map_err(|_| OdrError::arg("bad departure count"))?;
+                if n == 0 {
+                    return Err(OdrError::arg("need at least one departure"));
+                }
+                exit_after = Some(n);
+            }
+            "--telemetry" => telemetry = Some(value("--telemetry")?.clone()),
+            "--connect" => connect_addr = Some(value("--connect")?.clone()),
+            "--rate" => {
+                let hz: f64 = value("--rate")?
+                    .parse()
+                    .map_err(|_| OdrError::arg("bad input rate"))?;
+                if !(hz >= 0.0) {
+                    return Err(OdrError::arg("input rate must be non-negative"));
+                }
+                rate = Some(hz);
+            }
             other => return Err(OdrError::arg(format!("unknown option {other}"))),
         }
     }
@@ -469,6 +643,24 @@ fn parse(args: &[String]) -> OdrResult<Parsed> {
         return Err(OdrError::arg(
             "--fidelity analytic needs --sessions or --cluster",
         ));
+    }
+    if serve && connect_addr.is_some() {
+        return Err(OdrError::arg("--serve and --connect are mutually exclusive"));
+    }
+    if (serve || connect_addr.is_some()) && (cluster || sessions.is_some()) {
+        return Err(OdrError::arg(
+            "--serve/--connect cannot combine with --cluster or --sessions",
+        ));
+    }
+    if !serve
+        && (listen.is_some() || max_sessions_set || exit_after.is_some() || telemetry.is_some())
+    {
+        return Err(OdrError::arg(
+            "--listen/--max-sessions/--exit-after/--telemetry need --serve",
+        ));
+    }
+    if rate.is_some() && connect_addr.is_none() {
+        return Err(OdrError::arg("--rate needs --connect"));
     }
 
     let spec = match regulation.as_str() {
@@ -492,6 +684,50 @@ fn parse(args: &[String]) -> OdrResult<Parsed> {
             .display(display)
             .obs(trace_out.is_some())
             .build();
+    let connect = match &connect_addr {
+        Some(addr) => {
+            // The runtime regulates for real; RVS only exists in the
+            // simulator's display model, so it cannot cross the wire.
+            let regulation_rt = match regulation.as_str() {
+                "noreg" => Regulation::NoReg,
+                "int" => match goal {
+                    FpsGoal::Target(fps) => Regulation::Interval { fps },
+                    FpsGoal::Max => {
+                        return Err(OdrError::arg(
+                            "--regulation int needs --target <fps> over the wire",
+                        ))
+                    }
+                },
+                "odr" => Regulation::Odr {
+                    target_fps: match goal {
+                        FpsGoal::Target(fps) => Some(fps),
+                        FpsGoal::Max => None,
+                    },
+                },
+                _ => {
+                    return Err(OdrError::arg(
+                        "rvs regulation is simulator-only; use noreg, int or odr",
+                    ))
+                }
+            };
+            Some(ConnectArgs {
+                addr: addr.clone(),
+                regulation: regulation_rt,
+                rate: rate.unwrap_or(2.0),
+                duration: std::time::Duration::from_secs(duration),
+                seed,
+            })
+        }
+        None => None,
+    };
+    let serve = serve.then(|| ServeArgs {
+        listen: listen.unwrap_or_else(|| "127.0.0.1:7401".to_owned()),
+        max_sessions,
+        exit_after,
+        telemetry,
+        slo_fps,
+        slo_mtp,
+    });
     let cluster = cluster.then_some(ClusterArgs {
         nodes,
         arrival_rate,
@@ -512,6 +748,8 @@ fn parse(args: &[String]) -> OdrResult<Parsed> {
         threads,
         fidelity,
         cluster,
+        serve,
+        connect,
         experiment,
     })
 }
@@ -701,6 +939,99 @@ mod tests {
         assert_eq!(cfg.sim.fidelity, FidelityMode::Analytic);
         assert!(parse(&argv("--fidelity analytic")).is_err());
         assert!(parse(&argv("--sessions 16 --fidelity turbo")).is_err());
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let p = parse(&argv(
+            "--serve --listen 127.0.0.1:9000 --max-sessions 2 --exit-after 4 \
+             --telemetry live.jsonl --slo-fps 45 --slo-mtp 120",
+        ))
+        .expect("parse");
+        let s = p.serve.expect("serve args");
+        assert_eq!(s.listen, "127.0.0.1:9000");
+        assert_eq!(s.max_sessions, 2);
+        assert_eq!(s.exit_after, Some(4));
+        assert_eq!(s.telemetry.as_deref(), Some("live.jsonl"));
+        assert_eq!(s.slo_fps, 45.0);
+        assert_eq!(s.slo_mtp, 120.0);
+        assert!(p.connect.is_none());
+    }
+
+    #[test]
+    fn serve_defaults() {
+        let s = parse(&argv("--serve")).expect("parse").serve.expect("on");
+        assert_eq!(s.listen, "127.0.0.1:7401");
+        assert_eq!(s.max_sessions, 8);
+        assert_eq!(s.exit_after, None);
+        assert!(s.telemetry.is_none());
+        assert!(parse(&[]).expect("defaults").serve.is_none());
+    }
+
+    #[test]
+    fn connect_flags_parse() {
+        let p = parse(&argv(
+            "--connect 127.0.0.1:9000 --regulation odr --target 60 --rate 5 \
+             --duration 3 --seed 2",
+        ))
+        .expect("parse");
+        let c = p.connect.expect("connect args");
+        assert_eq!(c.addr, "127.0.0.1:9000");
+        assert_eq!(
+            c.regulation,
+            Regulation::Odr {
+                target_fps: Some(60.0)
+            }
+        );
+        assert_eq!(c.rate, 5.0);
+        assert_eq!(c.duration, std::time::Duration::from_secs(3));
+        assert_eq!(c.seed, 2);
+        let d = parse(&argv("--connect 127.0.0.1:9000")).expect("parse");
+        assert_eq!(d.connect.expect("on").rate, 2.0);
+    }
+
+    #[test]
+    fn connect_maps_every_wire_regulation() {
+        let reg = |s: &str| {
+            parse(&argv(&format!("--connect a:1 {s}")))
+                .expect("parse")
+                .connect
+                .expect("on")
+                .regulation
+        };
+        assert_eq!(reg("--regulation noreg"), Regulation::NoReg);
+        assert_eq!(
+            reg("--regulation int --target 30"),
+            Regulation::Interval { fps: 30.0 }
+        );
+        assert_eq!(
+            reg("--regulation odr --target max"),
+            Regulation::Odr { target_fps: None }
+        );
+    }
+
+    #[test]
+    fn serve_and_connect_gate_each_other_and_the_sim_modes() {
+        assert!(parse(&argv("--serve --connect a:1")).is_err());
+        assert!(parse(&argv("--serve --cluster")).is_err());
+        assert!(parse(&argv("--connect a:1 --sessions 4")).is_err());
+        assert!(parse(&argv("--listen 127.0.0.1:9000")).is_err());
+        assert!(parse(&argv("--max-sessions 4")).is_err());
+        assert!(parse(&argv("--telemetry t.jsonl")).is_err());
+        assert!(parse(&argv("--rate 5")).is_err());
+        assert!(parse(&argv("--serve --max-sessions 0")).is_err());
+        assert!(parse(&argv("--serve --exit-after 0")).is_err());
+        assert!(parse(&argv("--connect a:1 --rate -1")).is_err());
+    }
+
+    #[test]
+    fn simulator_only_regulations_cannot_cross_the_wire() {
+        let err = parse(&argv("--connect a:1 --regulation rvs --target 60"))
+            .expect_err("rvs is simulator-only");
+        assert!(err.to_string().contains("simulator-only"), "{err}");
+        let err = parse(&argv("--connect a:1 --regulation int --target max"))
+            .expect_err("interval needs a target");
+        assert!(err.to_string().contains("--target"), "{err}");
     }
 
     #[test]

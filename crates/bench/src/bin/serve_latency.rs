@@ -1,0 +1,151 @@
+//! Serving-surface latency harness: binds a real `odr-serve` server on
+//! loopback, runs N concurrent replay clients against it, and emits
+//! `BENCH_serve.json` — admitted session count, aggregate delivered
+//! frame rate, and p50/p99 input-to-present latency as measured by the
+//! clients (their own INPUT timestamp echoed back in the FRAME header,
+//! so no clock synchronisation is involved).
+//!
+//! Sessions are deliberately small (160x96, low scene complexity) so
+//! the harness measures the serving stack — framing, socket hand-off,
+//! per-session threading — rather than raster throughput, and finishes
+//! in a few seconds on a 1-core CI container.
+//!
+//! ```text
+//! cargo run --release -p odr-bench --bin serve_latency
+//! ```
+
+use std::time::{Duration, Instant};
+
+use odr_bench::emit::{peak_rss_bytes, BenchJson};
+use odr_client::{run_client, ClientConfig, ClientOutcome};
+use odr_metrics::Summary;
+use odr_runtime::Regulation;
+use odr_serve::{ServeConfig, Server, SessionConfig};
+
+/// Concurrent sessions the harness drives.
+const SESSIONS: u64 = 4;
+/// Per-session connection time.
+const DURATION: Duration = Duration::from_millis(2000);
+/// Mean input rate of each client's Poisson trace.
+const INPUT_RATE_HZ: f64 = 4.0;
+
+/// The small session every client requests.
+fn session() -> SessionConfig {
+    SessionConfig {
+        width: 160,
+        height: 96,
+        regulation: Regulation::Odr {
+            target_fps: Some(30.0),
+        },
+        quant_bits: 2,
+        base_objects: 6,
+        object_swing: 6,
+    }
+}
+
+fn main() {
+    let server = match Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            max_sessions: SESSIONS as usize,
+            exit_after: Some(SESSIONS),
+            ..ServeConfig::default()
+        },
+    ) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("serve_latency: bind failed: {err}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.addr().to_string();
+
+    let started = Instant::now();
+    let clients: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            let connect = addr.clone();
+            std::thread::spawn(move || {
+                run_client(&ClientConfig {
+                    connect,
+                    session: session(),
+                    duration: DURATION,
+                    input_rate_hz: INPUT_RATE_HZ,
+                    seed: 1 + i,
+                })
+            })
+        })
+        .collect();
+    let outcomes: Vec<ClientOutcome> = clients
+        .into_iter()
+        .filter_map(|handle| match handle.join() {
+            Ok(Ok(outcome)) => Some(outcome),
+            Ok(Err(err)) => {
+                eprintln!("serve_latency: client failed: {err}");
+                None
+            }
+            Err(panic) => std::panic::resume_unwind(panic),
+        })
+        .collect();
+    let elapsed = started.elapsed().as_secs_f64();
+    let report = match server.join() {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("serve_latency: server drain failed: {err}");
+            std::process::exit(1);
+        }
+    };
+    if outcomes.len() != SESSIONS as usize {
+        eprintln!(
+            "serve_latency: only {}/{SESSIONS} clients completed",
+            outcomes.len()
+        );
+        std::process::exit(1);
+    }
+
+    let frames_displayed: u64 = outcomes.iter().map(|o| o.report.frames_displayed).sum();
+    let inputs: u64 = outcomes.iter().map(|o| o.report.inputs).sum();
+    let frames_per_sec = frames_displayed as f64 / elapsed.max(1e-9);
+    let mut mtp = Summary::new();
+    for outcome in &outcomes {
+        mtp.merge(&outcome.report.mtp_ms);
+    }
+    let p50 = mtp.percentile(50.0);
+    let p99 = mtp.percentile(99.0);
+
+    let mut json = BenchJson::default();
+    json.str("bench", "serve_latency")
+        .int("sessions", report.admitted)
+        .int("frames_displayed", frames_displayed)
+        .int("inputs", inputs)
+        .num("elapsed_secs", elapsed)
+        .num("frames_per_sec", frames_per_sec)
+        .int("mtp_samples", mtp.count() as u64)
+        .num("mtp_p50_ms", p50)
+        .num("mtp_p99_ms", p99)
+        .int(
+            "cores",
+            std::thread::available_parallelism().map_or(1, usize::from) as u64,
+        );
+    match peak_rss_bytes() {
+        Some(rss) => {
+            json.int("peak_rss_bytes", rss);
+        }
+        None => {
+            json.num("peak_rss_bytes", f64::NAN);
+        }
+    }
+    println!(
+        "serve_latency: {} sessions | {:>8.1} frames/s | input-to-present p50 {:.1} ms, \
+         p99 {:.1} ms ({} samples)",
+        report.admitted,
+        frames_per_sec,
+        p50,
+        p99,
+        mtp.count()
+    );
+    let path = std::path::Path::new("BENCH_serve.json");
+    match json.write(path) {
+        Ok(()) => println!("serve_latency: wrote {}", path.display()),
+        Err(e) => eprintln!("serve_latency: could not write {}: {e}", path.display()),
+    }
+}

@@ -64,6 +64,15 @@ pub const PURE_SIM_CRATES: &[&str] = &[
 /// check tool itself is not simulation code).
 pub const REALTIME_CRATES: &[&str] = &["runtime", "bench", "check"];
 
+/// Real-time *networked* crates: the serving surface and its thin
+/// client. Wall-clock reads, real sleeps, and sockets are their job, so
+/// the determinism family does not apply — with one exception: OS
+/// randomness stays banned. Session traces must replay from an explicit
+/// seed (`odr_simtime::Rng`) so a real run can be diffed against the
+/// simulator's prediction for the same seed; an ambient-entropy RNG
+/// would silently break that contract.
+pub const REALTIME_NET_CRATES: &[&str] = &["serve", "client"];
+
 /// Individual files inside pure-sim crates that are deliberately
 /// realtime: `MonoClock` is the realtime runtime's trace timestamp
 /// source and the only place `odr-obs` may read the OS clock, and the
@@ -358,6 +367,15 @@ pub fn push_violation(
     });
 }
 
+/// The OS-entropy patterns, shared by the full determinism family and
+/// the standalone pass applied to [`REALTIME_NET_CRATES`].
+const OS_RNG_PATTERNS: &[(&str, &'static str, &str)] = &[
+    ("RandomState", "determinism/os-rng", "OS-seeded hasher breaks determinism"),
+    ("rand::", "determinism/os-rng", "external RNG; use odr_simtime::Rng with an explicit seed"),
+    ("getrandom", "determinism/os-rng", "OS entropy breaks seed determinism"),
+    ("from_entropy", "determinism/os-rng", "OS entropy breaks seed determinism"),
+];
+
 /// The determinism family: bans wall-clock, real sleep, randomized
 /// iteration and OS entropy in pure-sim code.
 pub fn determinism_rules(scan: &FileScan, allow: &Allowlist, report: &mut LintReport) {
@@ -367,16 +385,28 @@ pub fn determinism_rules(scan: &FileScan, allow: &Allowlist, report: &mut LintRe
         ("thread::sleep", "determinism/sleep", "real sleep in pure-sim code; advance SimTime instead"),
         ("HashMap", "determinism/hash-iter", "iteration order is randomized; use BTreeMap or Vec"),
         ("HashSet", "determinism/hash-iter", "iteration order is randomized; use BTreeSet or Vec"),
-        ("RandomState", "determinism/os-rng", "OS-seeded hasher breaks determinism"),
-        ("rand::", "determinism/os-rng", "external RNG; use odr_simtime::Rng with an explicit seed"),
-        ("getrandom", "determinism/os-rng", "OS entropy breaks seed determinism"),
-        ("from_entropy", "determinism/os-rng", "OS entropy breaks seed determinism"),
     ];
     for (i, s) in scan.lexed.code.iter().enumerate() {
         if scan.in_test_line(i) {
             continue;
         }
-        for (pat, rule, why) in PATTERNS {
+        for (pat, rule, why) in PATTERNS.iter().chain(OS_RNG_PATTERNS) {
+            if s.contains(pat) {
+                push_violation(report, allow, scan, i, rule, format!("`{pat}`: {why}"));
+            }
+        }
+    }
+}
+
+/// The OS-entropy subset of the determinism family, applied on its own
+/// to [`REALTIME_NET_CRATES`]: serving code may read clocks and sleep,
+/// but its input traces must stay seed-replayable.
+pub fn os_rng_rules(scan: &FileScan, allow: &Allowlist, report: &mut LintReport) {
+    for (i, s) in scan.lexed.code.iter().enumerate() {
+        if scan.in_test_line(i) {
+            continue;
+        }
+        for (pat, rule, why) in OS_RNG_PATTERNS {
             if s.contains(pat) {
                 push_violation(report, allow, scan, i, rule, format!("`{pat}`: {why}"));
             }
@@ -881,10 +911,13 @@ pub fn run_lints_on(ws: &Workspace, root: &Path, allow: &Allowlist) -> LintRepor
 
         if PURE_SIM_CRATES.contains(&krate) && !REALTIME_MODULES.contains(&rel.as_str()) {
             determinism_rules(scan, allow, &mut report);
+        } else if REALTIME_NET_CRATES.contains(&krate) {
+            os_rng_rules(scan, allow, &mut report);
         } else if !PURE_SIM_CRATES.contains(&krate) {
             debug_assert!(
                 is_shim || krate.is_empty() || REALTIME_CRATES.contains(&krate),
-                "unclassified crate {krate}: add it to PURE_SIM_CRATES or REALTIME_CRATES"
+                "unclassified crate {krate}: add it to PURE_SIM_CRATES, \
+                 REALTIME_CRATES or REALTIME_NET_CRATES"
             );
         }
         panic_rules(scan, allow, &mut report);
@@ -940,6 +973,7 @@ pub fn run_lints_on(ws: &Workspace, root: &Path, allow: &Allowlist) -> LintRepor
         };
         let callee_crate = crate_of(&callee.rel_path);
         let callee_realtime = REALTIME_CRATES.contains(&callee_crate)
+            || REALTIME_NET_CRATES.contains(&callee_crate)
             || REALTIME_MODULES.contains(&callee.rel_path.as_str());
         if callee_realtime {
             if let Some(scan) = scans.iter().find(|s| s.rel_path == e.rel_path) {
@@ -1024,6 +1058,8 @@ mod tests {
         let krate = crate_of(path);
         if PURE_SIM_CRATES.contains(&krate) && !REALTIME_MODULES.contains(&path) {
             determinism_rules(&s, allow, &mut report);
+        } else if REALTIME_NET_CRATES.contains(&krate) {
+            os_rng_rules(&s, allow, &mut report);
         }
         panic_rules(&s, allow, &mut report);
         if krate == "core" || krate == "obs" {
@@ -1052,6 +1088,26 @@ mod tests {
             &Allowlist::default(),
         );
         assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn serve_and_client_are_realtime_net_crates() {
+        // Wall-clock, sleep, and sockets are the serving surface's job:
+        // none of the determinism rules that bind pure-sim crates apply.
+        let realtime = "fn t() { let x = std::time::Instant::now(); \
+                        std::thread::sleep(d); }\n";
+        for path in ["crates/serve/src/session.rs", "crates/client/src/lib.rs"] {
+            let r = lint_src(path, realtime, &Allowlist::default());
+            assert!(r.violations.is_empty(), "{path}: {:?}", r.violations);
+        }
+        // …except OS entropy: input traces must replay from an explicit
+        // seed so real runs can be diffed against the simulator.
+        let entropy = "fn t() { let r = rand::thread_rng(); }\n";
+        for path in ["crates/serve/src/session.rs", "crates/client/src/lib.rs"] {
+            let r = lint_src(path, entropy, &Allowlist::default());
+            assert_eq!(r.violations.len(), 1, "{path}: {:?}", r.violations);
+            assert_eq!(r.violations[0].rule, "determinism/os-rng");
+        }
     }
 
     #[test]

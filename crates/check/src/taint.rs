@@ -322,6 +322,44 @@ mod tests {
     }
 
     #[test]
+    fn serve_is_a_realtime_boundary_for_taint() {
+        // The serving surface lives on the wall clock: its own
+        // clock-reaching calls are sanctioned…
+        let r = run(&[
+            (
+                "crates/serve/src/session.rs",
+                "use odr_obs::clock::tick;\npub fn writer() { tick(); }\n",
+            ),
+            (
+                "crates/obs/src/clock.rs",
+                "pub fn tick() -> u64 { Instant::now().elapsed().as_nanos() as u64 }\n",
+            ),
+        ]);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        // …but it does not launder nondeterminism into the simulator:
+        // a pure-sim function reaching the clock *through* serve code is
+        // still flagged, with the witness chain crossing the boundary.
+        let r = run(&[
+            (
+                "crates/pipeline/src/sim.rs",
+                "use odr_serve::session::stamp;\npub fn step() { stamp(); }\n",
+            ),
+            (
+                "crates/serve/src/session.rs",
+                "pub fn stamp() -> u64 { Instant::now().elapsed().as_nanos() as u64 }\n",
+            ),
+        ]);
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].rule, "taint/wall-clock");
+        assert!(r.violations[0].path.contains("pipeline"));
+        assert!(
+            r.violations[0].message.contains("stamp"),
+            "{}",
+            r.violations[0].message
+        );
+    }
+
+    #[test]
     fn sim_code_reaching_the_sanctioned_clock_is_flagged() {
         let r = run(&[
             (

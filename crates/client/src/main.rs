@@ -1,0 +1,186 @@
+//! `odr-client` — connect to an `odr-serve` server and measure.
+//!
+//! ```text
+//! odr-client --connect 127.0.0.1:7401 --target 60 --duration 5 --rate 2
+//! ```
+
+use std::time::Duration;
+
+use odr_client::{outcome_to_text, run_client, ClientConfig};
+use odr_core::{OdrError, OdrResult};
+use odr_runtime::Regulation;
+
+const USAGE: &str = "odr-client — replay inputs against an odr-serve server
+  --connect <addr>          server address        [127.0.0.1:7401]
+  --regulation noreg|int|odr  server-side regulation  [odr]
+  --target <fps>|max        regulation goal       [60]
+  --duration <secs>         session length        [5]
+  --rate <hz>               mean input rate       [2]
+  --seed <u64>              input trace seed      [1]
+  --width <px>              frame width           [320]
+  --height <px>             frame height          [180]
+  --quant <bits>            codec quantisation    [2]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse(&args) {
+        Ok(Some(cfg)) => cfg,
+        Ok(None) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!("run with --help for usage");
+            std::process::exit(2);
+        }
+    };
+    match run_client(&cfg) {
+        Ok(outcome) => print!("{}", outcome_to_text(&outcome)),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Parses the CLI; `Ok(None)` means help was requested.
+fn parse(args: &[String]) -> OdrResult<Option<ClientConfig>> {
+    let mut cfg = ClientConfig::default();
+    let mut regulation = String::from("odr");
+    let mut target: Option<f64> = Some(60.0);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> OdrResult<&String> {
+            it.next()
+                .ok_or_else(|| OdrError::arg(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--connect" => cfg.connect = value("--connect")?.clone(),
+            "--regulation" => regulation = value("--regulation")?.to_lowercase(),
+            "--target" => {
+                let v = value("--target")?;
+                target = if v.eq_ignore_ascii_case("max") {
+                    None
+                } else {
+                    let fps: f64 = v
+                        .parse()
+                        .map_err(|_| OdrError::arg(format!("bad target {v}")))?;
+                    if fps <= 0.0 {
+                        return Err(OdrError::arg("target must be positive"));
+                    }
+                    Some(fps)
+                };
+            }
+            "--duration" => {
+                let secs: f64 = value("--duration")?
+                    .parse()
+                    .map_err(|_| OdrError::arg("bad duration"))?;
+                if !(secs > 0.0) {
+                    return Err(OdrError::arg("duration must be positive"));
+                }
+                cfg.duration = Duration::from_secs_f64(secs);
+            }
+            "--rate" => {
+                cfg.input_rate_hz = value("--rate")?
+                    .parse()
+                    .map_err(|_| OdrError::arg("bad input rate"))?;
+                if cfg.input_rate_hz < 0.0 {
+                    return Err(OdrError::arg("input rate must be non-negative"));
+                }
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| OdrError::arg("bad seed"))?;
+            }
+            "--width" => {
+                cfg.session.width = value("--width")?
+                    .parse()
+                    .map_err(|_| OdrError::arg("bad width"))?;
+            }
+            "--height" => {
+                cfg.session.height = value("--height")?
+                    .parse()
+                    .map_err(|_| OdrError::arg("bad height"))?;
+            }
+            "--quant" => {
+                cfg.session.quant_bits = value("--quant")?
+                    .parse()
+                    .map_err(|_| OdrError::arg("bad quantisation"))?;
+            }
+            other => return Err(OdrError::arg(format!("unknown option {other}"))),
+        }
+    }
+    cfg.session.regulation = match regulation.as_str() {
+        "noreg" => Regulation::NoReg,
+        "int" => Regulation::Interval {
+            fps: target.ok_or_else(|| OdrError::arg("interval regulation needs --target <fps>"))?,
+        },
+        "odr" => Regulation::Odr { target_fps: target },
+        v => return Err(OdrError::arg(format!("unknown regulation {v}"))),
+    };
+    Ok(Some(cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let cfg = parse(&[]).expect("defaults").expect("not help");
+        assert_eq!(cfg.connect, "127.0.0.1:7401");
+        assert_eq!(
+            cfg.session.regulation,
+            Regulation::Odr {
+                target_fps: Some(60.0)
+            }
+        );
+        assert_eq!(cfg.duration, Duration::from_secs(5));
+    }
+
+    #[test]
+    fn full_command_line() {
+        let cfg = parse(&argv(
+            "--connect 10.0.0.1:9 --regulation int --target 30 --duration 2.5 \
+             --rate 4 --seed 7 --width 640 --height 360 --quant 3",
+        ))
+        .expect("parse")
+        .expect("not help");
+        assert_eq!(cfg.connect, "10.0.0.1:9");
+        assert_eq!(cfg.session.regulation, Regulation::Interval { fps: 30.0 });
+        assert_eq!(cfg.duration, Duration::from_secs_f64(2.5));
+        assert_eq!(cfg.input_rate_hz, 4.0);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!((cfg.session.width, cfg.session.height), (640, 360));
+        assert_eq!(cfg.session.quant_bits, 3);
+    }
+
+    #[test]
+    fn odr_max_parses() {
+        let cfg = parse(&argv("--target max"))
+            .expect("parse")
+            .expect("not help");
+        assert_eq!(cfg.session.regulation, Regulation::Odr { target_fps: None });
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(parse(&argv("--help")).expect("help").is_none());
+    }
+
+    #[test]
+    fn bad_values_error() {
+        assert!(parse(&argv("--bogus")).is_err());
+        assert!(parse(&argv("--target -1")).is_err());
+        assert!(parse(&argv("--duration 0")).is_err());
+        assert!(parse(&argv("--regulation int --target max")).is_err());
+        assert!(parse(&argv("--connect")).is_err());
+    }
+}

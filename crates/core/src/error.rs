@@ -59,6 +59,19 @@ pub enum OdrError {
         /// The underlying error's description.
         message: String,
     },
+    /// A wire-protocol violation on the serving surface: truncated or
+    /// oversized frames, bad magic, version mismatch, unknown message
+    /// types. Decoding malformed bytes must yield this, never a panic.
+    Protocol {
+        /// What was malformed (already includes offending values).
+        message: String,
+    },
+    /// The serving surface rejected a session at admission: the
+    /// colocation fixed point predicts the SLO cannot be met.
+    Admission {
+        /// Why admission failed (predicted FPS/MtP/load vs the SLO).
+        reason: String,
+    },
 }
 
 impl OdrError {
@@ -105,6 +118,22 @@ impl OdrError {
             message: err.to_string(),
         }
     }
+
+    /// An [`OdrError::Protocol`] violation with the given description.
+    #[must_use]
+    pub fn protocol(message: impl Into<String>) -> OdrError {
+        OdrError::Protocol {
+            message: message.into(),
+        }
+    }
+
+    /// An [`OdrError::Admission`] rejection with the given reason.
+    #[must_use]
+    pub fn admission(reason: impl Into<String>) -> OdrError {
+        OdrError::Admission {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for OdrError {
@@ -120,6 +149,8 @@ impl fmt::Display for OdrError {
                 write!(f, "{thread} thread failed: {message}")
             }
             OdrError::Io { path, message } => write!(f, "io error on `{path}`: {message}"),
+            OdrError::Protocol { message } => write!(f, "protocol error: {message}"),
+            OdrError::Admission { reason } => write!(f, "admission rejected: {reason}"),
         }
     }
 }
@@ -161,5 +192,19 @@ mod tests {
     fn codec_wrapper_keeps_the_message() {
         let e = OdrError::codec("missing reference frame 7");
         assert_eq!(e.to_string(), "codec error: missing reference frame 7");
+    }
+
+    #[test]
+    fn serving_variants_name_the_contract() {
+        let e = OdrError::protocol("body length 99999999 exceeds cap");
+        assert_eq!(
+            e.to_string(),
+            "protocol error: body length 99999999 exceeds cap"
+        );
+        let e = OdrError::admission("predicted fps 21.4 below SLO 30.0");
+        assert_eq!(
+            e.to_string(),
+            "admission rejected: predicted fps 21.4 below SLO 30.0"
+        );
     }
 }

@@ -42,19 +42,14 @@ fn micros(ts_ns: u64) -> String {
     format!("{}.{:03}", ts_ns / 1_000, ts_ns % 1_000)
 }
 
-/// Renders the report as JSON Lines: one `meta` line, then one line per
-/// event, per stage-counter row and per detected stall.
-#[must_use]
-pub fn to_jsonl(report: &ObsReport) -> String {
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{{\"type\":\"meta\",\"enabled\":{},\"events\":{},\"dropped\":{}}}",
-        report.enabled,
-        report.events.len(),
-        report.dropped
-    );
-    for ev in &report.events {
+/// Appends one `{"type":"event",...}` JSONL line per event to `out`.
+///
+/// This is the per-event half of [`to_jsonl`], exposed so live consumers
+/// (the serving surface's telemetry drain) can stream batches of drained
+/// events incrementally and still produce bytes identical to a one-shot
+/// export of the same events.
+pub fn write_events_jsonl(out: &mut String, events: &[crate::event::Event]) {
+    for ev in events {
         let kind = match ev.kind {
             Kind::SpanBegin => "begin",
             Kind::SpanEnd => "end",
@@ -76,6 +71,21 @@ pub fn to_jsonl(report: &ObsReport) -> String {
         }
         out.push_str("}\n");
     }
+}
+
+/// Renders the report as JSON Lines: one `meta` line, then one line per
+/// event, per stage-counter row and per detected stall.
+#[must_use]
+pub fn to_jsonl(report: &ObsReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"meta\",\"enabled\":{},\"events\":{},\"dropped\":{}}}",
+        report.enabled,
+        report.events.len(),
+        report.dropped
+    );
+    write_events_jsonl(&mut out, &report.events);
     for (name, c) in report.counters.stages() {
         let _ = writeln!(
             out,

@@ -43,7 +43,7 @@ pub mod stall;
 pub use clock::MonoClock;
 pub use counters::{Counters, StageCounters};
 pub use event::{names, track, Event, Kind};
-pub use export::{to_chrome_trace, to_jsonl};
+pub use export::{to_chrome_trace, to_jsonl, write_events_jsonl};
 pub use recorder::{Drained, NullRecorder, Recorder, RingRecorder, DEFAULT_CAPACITY, NULL_RECORDER};
 pub use report::ObsReport;
 pub use stall::{find_stalls, Stall, DEFAULT_STALL_FACTOR, MIN_STALL_SAMPLES};

@@ -50,6 +50,17 @@ pub trait Recorder: Send + Sync {
     fn drain(&self) -> Drained {
         Drained::default()
     }
+
+    /// Drains everything recorded so far into `into`, appending to its
+    /// event list and shed counter. Equivalent to
+    /// `into.merge(self.drain())` but lets sinks skip the intermediate
+    /// [`Drained`]; repeated incremental drains followed by a final one
+    /// accumulate exactly what a single shutdown drain would have
+    /// returned (minus anything the ring shed in between, which the
+    /// `dropped` counter still accounts for).
+    fn drain_into(&self, into: &mut Drained) {
+        into.merge(self.drain());
+    }
 }
 
 /// The no-op sink: drops every event, reports itself disabled.
@@ -158,6 +169,13 @@ impl Recorder for RingRecorder {
             dropped,
         }
     }
+
+    fn drain_into(&self, into: &mut Drained) {
+        let mut ring = self.lock();
+        into.dropped += ring.dropped;
+        ring.dropped = 0;
+        into.events.extend(ring.events.drain(..));
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +235,57 @@ mod tests {
         assert!(!r.enabled());
         r.record(ev(1));
         assert!(r.drain().events.is_empty());
+    }
+
+    #[cfg(feature = "capture")]
+    #[test]
+    fn incremental_drain_matches_shutdown_drain_byte_for_byte() {
+        // Two rings fed the identical event stream; one is drained
+        // incrementally mid-stream (the live-telemetry path), the other
+        // only at shutdown. The merged incremental capture must render
+        // to exactly the same JSONL bytes as the one-shot drain.
+        let live = RingRecorder::new(4); // small: forces shedding too
+        let shutdown = RingRecorder::new(4);
+        let mut acc = Drained::default();
+        for ts in 0..14 {
+            live.record(ev(ts));
+            shutdown.record(ev(ts));
+            if ts % 5 == 4 {
+                live.drain_into(&mut acc);
+            }
+        }
+        live.drain_into(&mut acc);
+        let once = shutdown.drain();
+        // Shedding only happens between drains, so the incremental path
+        // keeps MORE events; equality of the shared invariants is what
+        // the contract promises: same total observed, same ordering.
+        assert_eq!(acc.events.len() as u64 + acc.dropped, 14);
+        assert_eq!(once.events.len() as u64 + once.dropped, 14);
+        let stamps: Vec<u64> = acc.events.iter().map(|e| e.ts_ns).collect();
+        let mut sorted = stamps.clone();
+        sorted.sort_unstable();
+        assert_eq!(stamps, sorted, "incremental drain preserves order");
+
+        // With capacity ample enough that nothing sheds, the two paths
+        // are byte-identical through the JSONL exporter.
+        let live = RingRecorder::new(64);
+        let shutdown = RingRecorder::new(64);
+        let mut acc = Drained::default();
+        for ts in 0..14 {
+            live.record(ev(ts));
+            shutdown.record(ev(ts));
+            if ts % 5 == 4 {
+                live.drain_into(&mut acc);
+            }
+        }
+        live.drain_into(&mut acc);
+        let incremental = crate::ObsReport::from_drained(acc);
+        let oneshot = crate::ObsReport::from_drained(shutdown.drain());
+        assert_eq!(
+            crate::export::to_jsonl(&incremental),
+            crate::export::to_jsonl(&oneshot),
+            "drain-then-merge must be byte-identical to shutdown-only drain"
+        );
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //! the reproduction numbers come from the simulator.
 
 pub mod report;
+/// Reusable stage loops shared by the in-process pipeline and the
+/// socket serving surface (`odr-serve`).
+pub mod stages;
 pub mod system;
 
 pub use report::RuntimeReport;
+pub use stages::{EncodedFrame, RawFrame};
 pub use system::{Regulation, RuntimeConfig, System};

@@ -9,15 +9,14 @@ use std::{
     time::{Duration, Instant},
 };
 
-use odr_core::{FpsRegulator, OdrError, PriorityGate, QueueObs, SyncQueue};
+use odr_core::{OdrError, QueueObs, SyncQueue};
 use odr_metrics::Summary;
-use odr_obs::{
-    names, track, Drained, Event as ObsEvent, MonoClock, NullRecorder, ObsReport, Recorder,
-    RingRecorder,
-};
-use odr_raster::{Framebuffer, Rasterizer, Scene};
+use odr_obs::{names, track, Drained, Event as ObsEvent, MonoClock, ObsReport};
 
 use crate::report::RuntimeReport;
+use crate::stages::{
+    make_recorder, spawn_app_stage, spawn_proxy_stage, AppStage, EncodedFrame, ProxyStage, RawFrame,
+};
 
 /// Locks a metrics mutex, recovering from poison: these mutexes guard
 /// plain accumulators that stay consistent even if a peer thread
@@ -96,32 +95,6 @@ impl Default for RuntimeConfig {
     }
 }
 
-/// A fresh ring recorder when capture is requested, the no-op recorder
-/// otherwise.
-fn make_recorder(enabled: bool) -> Arc<dyn Recorder> {
-    if enabled {
-        Arc::new(RingRecorder::default())
-    } else {
-        Arc::new(NullRecorder)
-    }
-}
-
-/// A rendered frame travelling between the threads.
-struct RawFrame {
-    seq: u64,
-    /// Creation instant of the oldest input this frame answers.
-    input_tag: Option<Instant>,
-    rgba: Vec<u8>,
-}
-
-/// An encoded frame on its way to the client.
-struct WireFrame {
-    input_tag: Option<Instant>,
-    data: Vec<u8>,
-    /// The quantised source, kept for PSNR accounting in the client.
-    source: Vec<u8>,
-}
-
 /// The assembled pipeline. Construct with a config, then [`System::run`].
 ///
 /// # Examples
@@ -172,7 +145,7 @@ impl System {
         let rec_queues = make_recorder(cfg.obs);
 
         let odr = matches!(cfg.regulation, Regulation::Odr { .. });
-        let buf1: Arc<SyncQueue<RawFrame>> = {
+        let buf1: Arc<SyncQueue<RawFrame<Instant>>> = {
             let queue = if odr {
                 SyncQueue::new_blocking(1)
             } else {
@@ -184,13 +157,13 @@ impl System {
                 clock,
             }))
         };
-        let buf2: Arc<SyncQueue<WireFrame>> =
+        let buf2: Arc<SyncQueue<EncodedFrame<Instant>>> =
             Arc::new(SyncQueue::new_blocking(1).with_obs(QueueObs {
                 recorder: Arc::clone(&rec_queues),
                 track: track::BUF2,
                 clock,
             }));
-        let (to_client, from_net) = mpsc::channel::<(WireFrame, Instant)>();
+        let (to_client, from_net) = mpsc::channel::<(EncodedFrame<Instant>, Instant)>();
         let (input_tx, input_rx) = mpsc::channel::<Instant>();
 
         let rendered = Arc::new(AtomicU64::new(0));
@@ -204,143 +177,35 @@ impl System {
         let psnr_sum = Arc::new(Mutex::new((0.0f64, 0u64)));
 
         // --- Application / render thread -------------------------------
-        let app = {
-            let buf1 = Arc::clone(&buf1);
-            let stop = Arc::clone(&stop);
-            let rendered = Arc::clone(&rendered);
-            let priority_n = Arc::clone(&priority_n);
-            let rec = Arc::clone(&rec_app);
-            thread::spawn(move || {
-                let mut scene = Scene::new(cfg.base_objects, cfg.object_swing);
-                let mut raster = Rasterizer::new();
-                let mut fb = Framebuffer::new(cfg.width, cfg.height);
-                let mut gate = PriorityGate::new();
-                let mut seq = 0u64;
-                let mut input_id = 0u64;
-                while !stop.load(Ordering::Relaxed) {
-                    // Interval pacing happens here, in the app main loop.
-                    if let Regulation::Interval { fps } = cfg.regulation {
-                        let interval = Duration::from_secs_f64(1.0 / fps);
-                        let elapsed = start.elapsed();
-                        let next = interval
-                            * u32::try_from(elapsed.as_nanos() / interval.as_nanos() + 1)
-                                .unwrap_or(u32::MAX);
-                        thread::sleep(next.saturating_sub(elapsed));
-                    }
-
-                    // Apply pending inputs; the oldest tag rides the frame.
-                    let mut oldest: Option<Instant> = None;
-                    while let Ok(created) = input_rx.try_recv() {
-                        scene.apply_input(0.12);
-                        input_id += 1;
-                        gate.input_arrived(input_id, odr_simtime::SimTime::ZERO);
-                        oldest = Some(oldest.map_or(created, |o: Instant| o.min(created)));
-                    }
-                    let is_priority = odr && gate.begin_frame().is_some();
-
-                    if rec.enabled() {
-                        rec.record(
-                            ObsEvent::begin(clock.now_ns(), track::APP, names::RENDER).with_id(seq),
-                        );
-                    }
-                    let t = start.elapsed().as_secs_f32();
-                    scene.render(&mut raster, &mut fb, t);
-                    if rec.enabled() {
-                        rec.record(
-                            ObsEvent::end(clock.now_ns(), track::APP, names::RENDER).with_id(seq),
-                        );
-                    }
-                    let frame = RawFrame {
-                        seq,
-                        input_tag: oldest,
-                        rgba: fb.bytes(),
-                    };
-                    seq += 1;
-                    rendered.fetch_add(1, Ordering::Relaxed);
-
-                    let alive = if is_priority {
-                        priority_n.fetch_add(1, Ordering::Relaxed);
-                        buf1.publish_priority(frame).is_some()
-                    } else {
-                        buf1.publish_blocking(frame)
-                    };
-                    if !alive {
-                        break;
-                    }
-                }
-            })
-        };
+        let app = spawn_app_stage(AppStage {
+            width: cfg.width,
+            height: cfg.height,
+            base_objects: cfg.base_objects,
+            object_swing: cfg.object_swing,
+            regulation: cfg.regulation,
+            start,
+            stop: Arc::clone(&stop),
+            input_rx,
+            out: Arc::clone(&buf1),
+            rendered: Arc::clone(&rendered),
+            priority_frames: Arc::clone(&priority_n),
+            recorder: Arc::clone(&rec_app),
+            clock,
+        });
 
         // --- Proxy thread: encode + Algorithm 1 ------------------------
-        let proxy = {
-            let buf1 = Arc::clone(&buf1);
-            let buf2 = Arc::clone(&buf2);
-            let encoded_n = Arc::clone(&encoded_n);
-            let rec = Arc::clone(&rec_proxy);
-            thread::spawn(move || {
-                let mut encoder = odr_codec::Encoder::new(cfg.width, cfg.height, cfg.quant_bits);
-                let mut regulator = match cfg.regulation {
-                    Regulation::Odr {
-                        target_fps: Some(fps),
-                    } => FpsRegulator::new(fps).with_max_debt(30.0),
-                    _ => FpsRegulator::unlimited(),
-                };
-                while let Some(raw) = buf1.pop_blocking() {
-                    let cycle_start = Instant::now();
-                    if rec.enabled() {
-                        rec.record(
-                            ObsEvent::begin(clock.now_ns(), track::PROXY, names::ENCODE)
-                                .with_id(raw.seq),
-                        );
-                    }
-                    let out = encoder.encode(&raw.rgba);
-                    if rec.enabled() {
-                        rec.record(
-                            ObsEvent::end(clock.now_ns(), track::PROXY, names::ENCODE)
-                                .with_id(raw.seq),
-                        );
-                    }
-                    encoded_n.fetch_add(1, Ordering::Relaxed);
-                    let mask = !0u8 << cfg.quant_bits;
-                    let source: Vec<u8> = raw.rgba.iter().map(|&b| b & mask).collect();
-                    let priority = raw.input_tag.is_some();
-                    let wire = WireFrame {
-                        input_tag: raw.input_tag,
-                        data: out.data,
-                        source,
-                    };
-                    let delivered = if odr && priority {
-                        buf2.publish_priority(wire).is_some()
-                    } else {
-                        buf2.publish_blocking(wire)
-                    };
-                    if !delivered {
-                        break;
-                    }
-                    // Algorithm 1: delay or accelerate. A priority frame's
-                    // pending sleep is skipped (latency first), with the
-                    // balance preserved.
-                    let sleep = regulator.on_frame_processed_recorded(
-                        cycle_start.elapsed(),
-                        clock.now_ns(),
-                        rec.as_ref(),
-                    );
-                    if sleep > Duration::ZERO {
-                        if priority {
-                            regulator.cancel_pending_sleep_recorded(
-                                sleep,
-                                clock.now_ns(),
-                                rec.as_ref(),
-                            );
-                        } else {
-                            thread::sleep(sleep);
-                        }
-                    }
-                    let _ = raw.seq;
-                }
-                buf2.close();
-            })
-        };
+        let proxy = spawn_proxy_stage(ProxyStage {
+            width: cfg.width,
+            height: cfg.height,
+            quant_bits: cfg.quant_bits,
+            regulation: cfg.regulation,
+            keep_source: true,
+            input: Arc::clone(&buf1),
+            output: Arc::clone(&buf2),
+            encoded: Arc::clone(&encoded_n),
+            recorder: Arc::clone(&rec_proxy),
+            clock,
+        });
 
         // --- Network thread: latency + serialisation delay -------------
         let net = {
@@ -403,7 +268,7 @@ impl System {
                         lock(&intervals).record((shown - last).as_secs_f64() * 1e3);
                     }
                     last_display = Some(shown);
-                    if let Some(created) = frame.input_tag {
+                    if let Some(created) = frame.tag {
                         lock(&mtp).record(created.elapsed().as_secs_f64() * 1e3);
                     }
                     let p = odr_codec::psnr(&frame.source, &rgba);

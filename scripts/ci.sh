@@ -238,4 +238,58 @@ cargo test -q -p odr-cluster --no-default-features
 echo "== cluster scaling (ODR vs NoReg capacity at equal SLO) =="
 cargo run --release -q -p odr-bench --bin cluster_scaling
 
+echo "== serving surface: wire property suite + feature matrix =="
+# The wire-format property suite (round-trips, truncation, corruption,
+# hostile length prefixes) runs in the default build; the serving stack
+# must also build and pass with obs capture and the lock-free engine
+# compiled out.
+cargo test -q -p odr-serve
+cargo test -q -p odr-serve --no-default-features
+cargo test -q -p odr-client
+
+echo "== serving surface: loopback smoke (server + 4 clients over TCP) =="
+# End-to-end through the odrsim CLI: a real server on 127.0.0.1 serves
+# four concurrent replay clients and drains; every process must exit 0
+# within a bounded wall time and the server must account for exactly
+# the four sessions.
+cargo build --release -q -p odr-bench --bin odrsim
+serve_addr="127.0.0.1:7411"
+serve_log="$(mktemp)"
+timeout 120 target/release/odrsim --serve --listen "$serve_addr" \
+    --max-sessions 8 --exit-after 4 >"$serve_log" 2>&1 &
+serve_pid=$!
+sleep 1
+client_pids=()
+client_logs=()
+for i in 1 2 3 4; do
+    client_log="$(mktemp)"
+    client_logs+=("$client_log")
+    timeout 60 target/release/odrsim --connect "$serve_addr" \
+        --regulation odr --target 30 --duration 2 --rate 3 --seed "$i" \
+        >"$client_log" 2>&1 &
+    client_pids+=($!)
+done
+for pid in "${client_pids[@]}"; do
+    wait "$pid" || {
+        echo "loopback smoke FAILED: a client exited non-zero" >&2
+        cat "${client_logs[@]}" >&2
+        exit 1
+    }
+done
+wait "$serve_pid" || {
+    echo "loopback smoke FAILED: the server exited non-zero" >&2
+    cat "$serve_log" >&2
+    exit 1
+}
+grep -q "admitted 4, rejected 0, departures 4" "$serve_log" || {
+    echo "loopback smoke FAILED: wrong admission accounting" >&2
+    cat "$serve_log" >&2
+    exit 1
+}
+rm -f "$serve_log" "${client_logs[@]}"
+echo "4 loopback clients served and drained clean"
+
+echo "== serving latency (real sockets, 4 concurrent sessions) =="
+cargo run --release -q -p odr-bench --bin serve_latency
+
 echo "ci: all green"

@@ -17,6 +17,10 @@
 //! * [`raster`] / [`codec`] / [`runtime`] — a software renderer, a video
 //!   codec, and a real multi-threaded pipeline that runs the same ODR
 //!   primitives against wall-clock time;
+//! * [`serve`] / [`client`] — a real multi-session TCP serving surface
+//!   (versioned wire protocol, SLO admission against the colocation
+//!   fixed point, live telemetry) and the thin replay client that
+//!   closes the sim-to-real loop;
 //! * [`qoe`] — the user-study model (Figures 14–15);
 //! * [`fleet`] — N independent sessions reduced into one deterministic
 //!   fleet report;
@@ -57,6 +61,8 @@ pub use odr_pipeline as pipeline;
 pub use odr_qoe as qoe;
 pub use odr_raster as raster;
 pub use odr_runtime as runtime;
+pub use odr_client as client;
+pub use odr_serve as serve;
 pub use odr_simtime as simtime;
 pub use odr_workload as workload;
 
@@ -82,8 +88,10 @@ pub mod prelude {
         run_experiment, run_suite, ClientDisplay, ExperimentConfig, ExperimentConfigBuilder,
         Report,
     };
+    pub use odr_client::{outcome_to_text, run_client, ClientConfig, ClientOutcome};
     pub use odr_qoe::{Panel, QoeSample};
     pub use odr_runtime::{Regulation, RuntimeConfig, System};
+    pub use odr_serve::{ServeConfig, ServeReport, Server, SessionConfig};
     pub use odr_simtime::{Duration, Rng, SimTime};
     pub use odr_workload::{Benchmark, Platform, Resolution, Scenario};
 }
